@@ -1,0 +1,31 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it in a paper-comparable shape (run with ``-s`` to see the tables;
+EXPERIMENTS.md records a reference run).
+
+Sizes default to a medium scale that completes in seconds; set
+``REPRO_BENCH_FULL=1`` for the paper-scale runs (Alexa 500 sites, 25
+raptor repetitions, ...).
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def scale(medium, full):
+    """Pick a workload size based on REPRO_BENCH_FULL."""
+    return full if FULL else medium
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,104 @@
+"""Ablations for the design choices DESIGN.md §5 calls out.
+
+1. Deterministic scheduling vs pass-through: without the scheduling
+   policy the kernel still interposes, but event-timing channels leak.
+2. CVE policies vs none: without them the worker-lifecycle UAFs return.
+3. Kernel logical clock (structural): clock-sampling channels stay
+   defended even without any scheduling policy — the clock is the other
+   half of the defense.
+4. Fuzzy scheduling vs deterministic: fuzzy predictions (real time +
+   jitter) fall to the averaging adversary; determinism does not.
+"""
+
+from repro.attacks import create
+from repro.defenses import register
+from repro.defenses.jskernel_defense import JSKernelDefense
+from repro.kernel import JSKernel
+from repro.kernel.policies import FuzzySchedulingPolicy, all_cve_policies
+
+
+class JSKernelFuzzy(JSKernelDefense):
+    """JSKernel running the fuzzy-time scheduling policy instead."""
+
+    name = "jskernel-fuzzy"
+
+    def __init__(self):
+        super().__init__(JSKernel(policies=[FuzzySchedulingPolicy()] + all_cve_policies()))
+
+
+register("jskernel-fuzzy", JSKernelFuzzy)
+
+
+def _cell(attack, defense):
+    return create(attack).run(defense)
+
+
+def test_ablation_scheduling_policy(once):
+    def run():
+        return {
+            "full": _cell("svg-filtering", "jskernel").defended,
+            "no-determinism": _cell("svg-filtering", "jskernel-nodet").defended,
+            "cache-full": _cell("cache-attack", "jskernel").defended,
+            "cache-no-determinism": _cell("cache-attack", "jskernel-nodet").defended,
+        }
+
+    outcome = once(run)
+    print()
+    print("=== Ablation 1: deterministic scheduling ===")
+    for name, defended in outcome.items():
+        print(f"  {name:22s}: {'defended' if defended else 'VULNERABLE'}")
+    assert outcome["full"] and outcome["cache-full"]
+    assert not outcome["no-determinism"]
+    assert not outcome["cache-no-determinism"]
+
+
+def test_ablation_cve_policies(once):
+    def run():
+        return {
+            "full": _cell("cve-2018-5092", "jskernel").defended,
+            "no-cve-policies": _cell("cve-2018-5092", "jskernel-nocve").defended,
+            "transferable-full": _cell("cve-2014-1488", "jskernel").defended,
+            "transferable-no-cve": _cell("cve-2014-1488", "jskernel-nocve").defended,
+        }
+
+    outcome = once(run)
+    print()
+    print("=== Ablation 2: per-CVE policies ===")
+    for name, defended in outcome.items():
+        print(f"  {name:22s}: {'defended' if defended else 'VULNERABLE'}")
+    assert outcome["full"] and outcome["transferable-full"]
+    assert not outcome["no-cve-policies"]
+    assert not outcome["transferable-no-cve"]
+
+
+def test_ablation_kernel_clock_is_structural(once):
+    def run():
+        return {
+            "css-animation": _cell("css-animation", "jskernel-nodet").defended,
+            "clock-edge": _cell("clock-edge", "jskernel-nodet").defended,
+        }
+
+    outcome = once(run)
+    print()
+    print("=== Ablation 3: kernel logical clock (no scheduling policy) ===")
+    for name, defended in outcome.items():
+        print(f"  {name:22s}: {'defended' if defended else 'VULNERABLE'}")
+    # clock-sampling channels are covered by the clock alone
+    assert outcome["css-animation"] and outcome["clock-edge"]
+
+
+def test_ablation_fuzzy_vs_deterministic(once):
+    def run():
+        return {
+            "fuzzy-svg": _cell("svg-filtering", "jskernel-fuzzy").defended,
+            "deterministic-svg": _cell("svg-filtering", "jskernel").defended,
+        }
+
+    outcome = once(run)
+    print()
+    print("=== Ablation 4: fuzzy-time vs deterministic scheduling ===")
+    for name, defended in outcome.items():
+        print(f"  {name:22s}: {'defended' if defended else 'VULNERABLE'}")
+    # fuzz is averaged away; determinism is not (the paper's core thesis)
+    assert not outcome["fuzzy-svg"]
+    assert outcome["deterministic-svg"]

@@ -1,0 +1,30 @@
+"""Figure 2 — script-parsing attack: reported time vs file size.
+
+Paper claim: "Except for JSKernel, the reported parsing time measured by
+the callback of setTimeout increases for all other defenses when the
+size of the file increases."
+"""
+
+from conftest import scale
+
+from repro.analysis.tables import render_series
+from repro.harness import figure2_script_parsing
+from repro.harness.perf import FIGURE2_DEFENSES
+
+
+SIZES = [int(mb * 1024 * 1024) for mb in scale((2, 6, 10), (2, 4, 6, 8, 10))]
+
+
+def test_figure2_series(once):
+    series = once(figure2_script_parsing, sizes=SIZES, defenses=FIGURE2_DEFENSES)
+    print()
+    print(render_series(series, title="=== Figure 2: reported time (ms) vs size (MB) ==="))
+
+    for defense, points in series.items():
+        values = [y for _x, y in points]
+        if defense == "jskernel":
+            # flat line: the count is fixed by deterministic scheduling
+            assert len(set(values)) == 1, f"jskernel not flat: {values}"
+        else:
+            # strictly increasing with size
+            assert all(b > a for a, b in zip(values, values[1:])), (defense, values)

@@ -1,0 +1,45 @@
+"""Figure 3 — CDF of loading time, Alexa-like Top-500, seven browsers.
+
+Paper claims: (1) JSKernel adds minimal, non-observable overhead — its
+curves hug the native browsers; (2) DeterFox is similar to Firefox;
+(3) Tor and Fuzzyfox are the slowest; (4) Chrome Zero incurs more
+overhead than JSKernel.
+"""
+
+from conftest import scale
+
+from repro.analysis.stats import median
+from repro.analysis.tables import render_cdf_summary
+from repro.harness.perf import FIGURE3_CONFIGS, figure3_cdf
+
+SITES = scale(60, 500)
+VISITS = scale(1, 3)
+
+
+def test_figure3_cdf(once):
+    series = once(figure3_cdf, site_count=SITES, visits=VISITS,
+                  configs=FIGURE3_CONFIGS)
+    print()
+    print(render_cdf_summary(series, title=f"=== Figure 3: loading times over {SITES} sites (ms) ==="))
+
+    chrome = median(series["legacy-chrome"])
+    chrome_kernel = median(series["jskernel"])
+    chromezero = median(series["chromezero"])
+    firefox = median(series["legacy-firefox"])
+    firefox_kernel = median(series["jskernel-firefox"])
+    deterfox = median(series["deterfox"])
+    tor = median(series["tor"])
+    fuzzyfox = median(series["fuzzyfox"])
+
+    # (1) JSKernel hugs the native browsers
+    assert abs(chrome_kernel - chrome) / chrome < 0.05
+    assert abs(firefox_kernel - firefox) / firefox < 0.05
+    # (2) DeterFox similar to Firefox
+    assert abs(deterfox - firefox) / firefox < 0.15
+    # (3) Tor and Fuzzyfox are the slowest configurations
+    slowest_two = sorted(
+        FIGURE3_CONFIGS, key=lambda c: median(series[c]), reverse=True
+    )[:2]
+    assert set(slowest_two) == {"tor", "fuzzyfox"}
+    # (4) Chrome Zero costs more than JSKernel on Chrome
+    assert chromezero >= chrome_kernel - 0.01 * chrome

@@ -1,0 +1,54 @@
+"""Table II — SVG-filtering times and Loopscan maximum event intervals.
+
+Paper values (ms):
+
+    defense     SVG low  SVG high  loops google  loops youtube
+    Chrome        16.66     18.85          4.5            8.8
+    Firefox       16.27     17.12         50             74
+    Edge          23.85     25.66         20.8           21.1
+    Fuzzyfox     109.09    145.45        200            500
+    Tor           16.63     17.81        500            600
+    Chrome Zero   15.71     21.63         12.8            8.1
+    JSKernel      10        10             1              1
+
+Shape targets: low < high and google < youtube everywhere except
+JSKernel, whose cells are pinned to exactly 10/10 and 1/1 by the
+deterministic schedule.
+"""
+
+from conftest import scale
+
+from repro.analysis.tables import render_table
+from repro.harness import table2_svg_loopscan
+from repro.harness.perf import TABLE2_DEFENSES
+
+RUNS = scale(3, 25)
+
+
+def test_table2(once):
+    table = once(table2_svg_loopscan, defenses=TABLE2_DEFENSES, runs=RUNS)
+    rows = [
+        [d, v["svg_low_ms"], v["svg_high_ms"], v["loopscan_google_ms"], v["loopscan_youtube_ms"]]
+        for d, v in table.items()
+    ]
+    print()
+    print(render_table(
+        ["defense", "svg low ms", "svg high ms", "loops google ms", "loops youtube ms"],
+        rows, title="=== Table II (measured) ===",
+    ))
+
+    kernel = table["jskernel"]
+    assert kernel["svg_low_ms"] == kernel["svg_high_ms"] == 10.0  # paper: 10/10
+    assert kernel["loopscan_google_ms"] == kernel["loopscan_youtube_ms"] == 1.0  # paper: 1/1
+
+    for defense, values in table.items():
+        if defense == "jskernel":
+            continue
+        assert values["svg_high_ms"] > values["svg_low_ms"], defense
+        assert values["loopscan_youtube_ms"] > values["loopscan_google_ms"], defense
+
+    # the paper's near-exact cells on legacy Chrome
+    chrome = table["legacy-chrome"]
+    assert abs(chrome["svg_low_ms"] - 16.66) < 1.0
+    assert abs(chrome["loopscan_google_ms"] - 4.5) < 1.5
+    assert abs(chrome["loopscan_youtube_ms"] - 8.8) < 2.0

@@ -1,0 +1,49 @@
+"""Reproduce a slice of the paper's Table I from the command line.
+
+Runs a selection of attacks against a selection of defenses and prints
+the defended/vulnerable matrix with agreement against the paper.
+
+Run:  python examples/defense_matrix.py
+      python examples/defense_matrix.py --full          # all 22 x 8 cells
+      python examples/defense_matrix.py cache-attack cve-2018-5092
+"""
+
+import sys
+
+from repro.attacks import attack_names
+from repro.harness import run_table1
+
+DEFAULT_ATTACKS = [
+    "cache-attack",
+    "clock-edge",
+    "svg-filtering",
+    "loopscan",
+    "cve-2018-5092",
+    "cve-2013-1714",
+]
+
+DEFAULT_DEFENSES = ["legacy-chrome", "fuzzyfox", "deterfox", "tor", "chromezero", "jskernel"]
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    if "--full" in args:
+        attacks, defenses = None, None  # everything
+    elif args:
+        unknown = set(args) - set(attack_names())
+        if unknown:
+            raise SystemExit(f"unknown attacks: {sorted(unknown)}; have {attack_names()}")
+        attacks, defenses = args, DEFAULT_DEFENSES
+    else:
+        attacks, defenses = DEFAULT_ATTACKS, DEFAULT_DEFENSES
+
+    result = run_table1(attacks=attacks, defenses=defenses)
+    print(result.render())
+    print()
+    print(f"agreement with the paper's Table I: {result.agreement():.2%}")
+    for cell in result.disagreements():
+        print(f"  disagrees: {cell}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``matrix [--full]``      — regenerate (a slice of) Table I
+* ``table2``               — SVG filtering + loopscan measurements
+* ``figure2``              — script-parsing size sweep
+* ``dromaeo``              — JSKernel Dromaeo overhead report
+* ``compat``               — API-compat counts + DOM similarity (small)
+* ``attacks``              — list every attack row
+* ``defenses``             — list every registered defense
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .analysis.tables import render_series, render_table
+from .attacks import attack_names
+from .attacks.registry import EXTENSION_ATTACKS
+from .defenses import available
+from .harness import (
+    api_compat_counts,
+    dom_similarity_survey,
+    dromaeo_overhead,
+    figure2_script_parsing,
+    run_table1,
+    table2_svg_loopscan,
+)
+
+
+def _cmd_matrix(args) -> None:
+    if "--full" in args:
+        result = run_table1()
+    else:
+        result = run_table1(
+            attacks=["cache-attack", "clock-edge", "loopscan", "cve-2018-5092"],
+            defenses=["legacy-chrome", "fuzzyfox", "deterfox", "tor", "chromezero", "jskernel"],
+        )
+    print(result.render())
+    print(f"\nagreement with the paper: {result.agreement():.2%}")
+
+
+def _cmd_table2(_args) -> None:
+    table = table2_svg_loopscan(runs=3)
+    rows = [
+        [d, v["svg_low_ms"], v["svg_high_ms"], v["loopscan_google_ms"], v["loopscan_youtube_ms"]]
+        for d, v in table.items()
+    ]
+    print(render_table(
+        ["defense", "svg low", "svg high", "loops google", "loops youtube"], rows,
+        title="Table II (ms)",
+    ))
+
+
+def _cmd_figure2(_args) -> None:
+    series = figure2_script_parsing(
+        sizes=[2 * 1024 * 1024, 6 * 1024 * 1024, 10 * 1024 * 1024]
+    )
+    print(render_series(series, title="Figure 2: reported time (ms) per size (MB)"))
+
+
+def _cmd_dromaeo(_args) -> None:
+    report = dromaeo_overhead()
+    rows = [[name, f"{pct:+.2f}%"] for name, pct in report["per_test"].items()]
+    print(render_table(["test", "overhead"], rows, title="Dromaeo overhead (JSKernel)"))
+    print(f"average {report['average_pct']:+.2f}%  median {report['median_pct']:+.2f}%")
+
+
+def _cmd_compat(_args) -> None:
+    counts = api_compat_counts()
+    for config, count in counts.items():
+        print(f"{config:10s}: {count:2d}/20 apps with observable differences")
+    survey = dom_similarity_survey(site_count=15)
+    print(f"DOM similarity >= 99%: {survey['fraction_above']:.0%} of sites")
+
+
+def _cmd_attacks(_args) -> None:
+    for name in attack_names():
+        print(name)
+    for cls in EXTENSION_ATTACKS:
+        print(f"{cls.name}  (extension)")
+
+
+def _cmd_defenses(_args) -> None:
+    for name in available():
+        print(name)
+
+
+COMMANDS = {
+    "matrix": _cmd_matrix,
+    "table2": _cmd_table2,
+    "figure2": _cmd_figure2,
+    "dromaeo": _cmd_dromaeo,
+    "compat": _cmd_compat,
+    "attacks": _cmd_attacks,
+    "defenses": _cmd_defenses,
+}
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help") or args[0] not in COMMANDS:
+        print(__doc__)
+        return 0 if args and args[0] in ("-h", "--help") else 1
+    COMMANDS[args[0]](args[1:])
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

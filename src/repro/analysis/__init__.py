@@ -1,0 +1,40 @@
+"""Measurement analysis: statistics, distinguishability, table rendering."""
+
+from .distinguish import (
+    SUCCESS_ACCURACY,
+    SUCCESS_T_STAT,
+    best_threshold_accuracy,
+    distinguishable,
+    held_out_accuracy,
+    welch_t,
+)
+from .stats import (
+    cdf_points,
+    cosine_similarity,
+    mean,
+    median,
+    percentile,
+    stdev,
+    summarize,
+)
+from .tables import render_cdf_summary, render_matrix, render_series, render_table
+
+__all__ = [
+    "SUCCESS_ACCURACY",
+    "SUCCESS_T_STAT",
+    "best_threshold_accuracy",
+    "cdf_points",
+    "cosine_similarity",
+    "distinguishable",
+    "held_out_accuracy",
+    "mean",
+    "median",
+    "percentile",
+    "render_cdf_summary",
+    "render_matrix",
+    "render_series",
+    "render_table",
+    "stdev",
+    "summarize",
+    "welch_t",
+]

@@ -1,0 +1,104 @@
+"""Small statistics toolbox used by the harnesses.
+
+Kept dependency-light (pure Python) so the library works without numpy;
+the benchmark harnesses only need means, spreads, CDF points and the
+cosine similarity of the compatibility experiment (§V-B2).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (raises on empty input)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (raises on empty input)."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0 for n < 2)."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (n - 1))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q / 100
+    low = int(math.floor(pos))
+    high = int(math.ceil(pos))
+    if low == high:
+        return ordered[low]
+    frac = pos - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as (value, cumulative fraction) pairs."""
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def cosine_similarity(a: str, b: str) -> float:
+    """Cosine similarity of two strings' token frequency vectors.
+
+    Tokenisation splits on angle brackets and whitespace, which is what
+    the paper's DOM-serialisation comparison effectively sees.
+    """
+    vec_a = _token_vector(a)
+    vec_b = _token_vector(b)
+    if not vec_a or not vec_b:
+        return 1.0 if vec_a == vec_b else 0.0
+    dot = sum(vec_a[t] * vec_b.get(t, 0) for t in vec_a)
+    norm_a = math.sqrt(sum(c * c for c in vec_a.values()))
+    norm_b = math.sqrt(sum(c * c for c in vec_b.values()))
+    if norm_a == 0 or norm_b == 0:
+        return 1.0 if norm_a == norm_b else 0.0
+    return dot / (norm_a * norm_b)
+
+
+def _token_vector(text: str) -> Counter:
+    tokens = (
+        text.replace("<", " <")
+        .replace(">", "> ")
+        .split()
+    )
+    return Counter(tokens)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean/median/stdev/min/max bundle for report rows."""
+    return {
+        "mean": mean(values),
+        "median": median(values),
+        "stdev": stdev(values),
+        "min": min(values),
+        "max": max(values),
+        "n": float(len(values)),
+    }

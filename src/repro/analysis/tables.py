@@ -1,0 +1,93 @@
+"""Text renderers for the paper's tables and figures.
+
+Benchmarks print these so a run's output can be placed side by side with
+the paper (EXPERIMENTS.md records both).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+CHECK = "+"
+CROSS = "x"
+
+
+def render_matrix(
+    matrix: Dict[str, Dict[str, bool]],
+    defenses: Sequence[str],
+    expected: Dict[str, Dict[str, bool]] = None,
+) -> str:
+    """Render a Table-I-style defended/vulnerable matrix.
+
+    ``+`` = defense prevents the attack, ``x`` = vulnerable; a trailing
+    ``!`` marks disagreement with the expected matrix.
+    """
+    name_width = max(len(name) for name in matrix) + 2
+    col_width = max(max(len(d) for d in defenses) + 1, 4)
+    header = " " * name_width + "".join(d.ljust(col_width) for d in defenses)
+    lines = [header]
+    for attack, row in matrix.items():
+        cells = []
+        for defense in defenses:
+            mark = CHECK if row[defense] else CROSS
+            if expected is not None and expected[attack][defense] != row[defense]:
+                mark += "!"
+            cells.append(mark.ljust(col_width))
+        lines.append(attack.ljust(name_width) + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: List[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a simple fixed-width table."""
+    widths = [len(h) for h in headers]
+    formatted_rows = []
+    for row in rows:
+        cells = [_fmt(cell) for cell in row]
+        widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+        formatted_rows.append(cells)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in formatted_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render_series(series: Dict[str, List[Tuple[float, float]]], title: str = "") -> str:
+    """Render (x, y) series — the Figure 2 size sweep shape."""
+    lines = [title] if title else []
+    for name, points in series.items():
+        rendered = ", ".join(f"({x:g}, {y:.2f})" for x, y in points)
+        lines.append(f"  {name}: {rendered}")
+    return "\n".join(lines)
+
+
+def render_cdf_summary(series: Dict[str, List[float]], title: str = "") -> str:
+    """Summarise CDF series by percentiles (Figure 3 in text form)."""
+    from .stats import percentile
+
+    headers = ["config", "p10", "p50", "p90", "max"]
+    rows = []
+    for name, values in series.items():
+        rows.append(
+            [
+                name,
+                percentile(values, 10),
+                percentile(values, 50),
+                percentile(values, 90),
+                max(values),
+            ]
+        )
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,20 @@
+"""Web concurrency attacks: every row of the paper's Table I."""
+
+from .base import Attack, AttackResult, CveAttack, MeasurementTimeout, TimingAttack
+from .expected import cve_rows, expected_matrix, expected_row, timing_rows
+from .registry import TABLE1_ATTACKS, attack_names, create
+
+__all__ = [
+    "Attack",
+    "AttackResult",
+    "CveAttack",
+    "MeasurementTimeout",
+    "TABLE1_ATTACKS",
+    "TimingAttack",
+    "attack_names",
+    "create",
+    "cve_rows",
+    "expected_matrix",
+    "expected_row",
+    "timing_rows",
+]

@@ -1,0 +1,29 @@
+"""CVE-based web concurrency attacks (Table I, bottom block)."""
+
+from .cve_2010_4576 import Cve2010_4576
+from .cve_2011_1190 import Cve2011_1190
+from .cve_2013_1714 import Cve2013_1714
+from .cve_2013_5602 import Cve2013_5602
+from .cve_2013_6646 import Cve2013_6646
+from .cve_2014_1487 import Cve2014_1487
+from .cve_2014_1488 import Cve2014_1488
+from .cve_2014_1719 import Cve2014_1719
+from .cve_2014_3194 import Cve2014_3194
+from .cve_2015_7215 import Cve2015_7215
+from .cve_2017_7843 import Cve2017_7843
+from .cve_2018_5092 import Cve2018_5092
+
+__all__ = [
+    "Cve2010_4576",
+    "Cve2011_1190",
+    "Cve2013_1714",
+    "Cve2013_5602",
+    "Cve2013_6646",
+    "Cve2014_1487",
+    "Cve2014_1488",
+    "Cve2014_1719",
+    "Cve2014_3194",
+    "Cve2015_7215",
+    "Cve2017_7843",
+    "Cve2018_5092",
+]

@@ -1,0 +1,49 @@
+"""CVE-2010-4576 — worker load error discloses a cross-origin redirect.
+
+The attacker points a same-origin worker URL at a resource that the
+server redirects cross-origin (common for SSO endpoints whose final URL
+carries user identifiers).  The buggy browser reports the *final* URL in
+the load error, leaking where the redirect landed.
+"""
+
+from __future__ import annotations
+
+from ...runtime.network import Resource
+from ...runtime.origin import parse_url
+from ..base import CveAttack, run_until_key
+
+SECRET_TOKEN = "session-token-93ab"
+FINAL_URL = f"https://sso.victim.example/landing?tok={SECRET_TOKEN}"
+ENTRY_URL = "https://attacker.example/sso-probe.js"
+
+
+class Cve2010_4576(CveAttack):
+    """Learn the redirect target of a same-origin worker load."""
+
+    name = "cve-2010-4576"
+    row = "CVE-2010-4576"
+    cve = "CVE-2010-4576"
+
+    def setup(self, browser, page) -> None:
+        """Host the same-origin entry that redirects cross-origin."""
+        browser.network.host(
+            Resource(
+                parse_url(ENTRY_URL),
+                500,
+                "text/javascript",
+                body=lambda scope: None,
+                redirect_to=parse_url(FINAL_URL),
+            )
+        )
+
+    def attempt(self, browser, page) -> bool:
+        """Create the worker; inspect the error for the final URL."""
+        box = {}
+
+        def attack(scope) -> None:
+            worker = scope.Worker("/sso-probe.js")
+            worker.onerror = lambda event: box.__setitem__("message", event.message)
+
+        page.run_script(attack)
+        message = str(run_until_key(browser, box, "message", self.timeout_ms))
+        return SECRET_TOKEN in message

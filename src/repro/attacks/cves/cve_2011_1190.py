@@ -1,0 +1,52 @@
+"""CVE-2011-1190 — cross-origin script exceptions reach onerror verbatim.
+
+A worker imports a cross-origin script whose execution throws; the
+exception message carries the victim script's internal state (the
+classic leak is ``document.cookie`` fragments or config values embedded
+in error strings).  Spec-compliant browsers replace such messages with
+"Script error."; the buggy path forwards them verbatim.
+"""
+
+from __future__ import annotations
+
+from ...errors import ReproError
+from ...runtime.network import Resource
+from ...runtime.origin import parse_url
+from ..base import CveAttack, run_until_key
+
+SECRET = "api-key-f00d"
+TARGET = "https://victim.example/widget.js"
+
+
+def _victim_widget(scope) -> None:
+    """The victim's cross-origin script: throws with internal state."""
+    raise ReproError(f"widget init failed: credential {SECRET} rejected")
+
+
+class Cve2011_1190(CveAttack):
+    """Harvest secrets from a cross-origin script's exception text."""
+
+    name = "cve-2011-1190"
+    row = "CVE-2011-1190"
+    cve = "CVE-2011-1190"
+
+    def setup(self, browser, page) -> None:
+        """Host the throwing cross-origin script."""
+        browser.network.host(
+            Resource(parse_url(TARGET), 3_000, "text/javascript", body=_victim_widget)
+        )
+
+    def attempt(self, browser, page) -> bool:
+        """Let the exception escape the worker; inspect onerror."""
+        box = {}
+
+        def attack(scope) -> None:
+            def worker_main(ws) -> None:
+                ws.importScripts(TARGET)  # throws; deliberately uncaught
+
+            worker = scope.Worker(worker_main)
+            worker.onerror = lambda event: box.__setitem__("message", event.message)
+
+        page.run_script(attack)
+        message = str(run_until_key(browser, box, "message", self.timeout_ms))
+        return SECRET in message

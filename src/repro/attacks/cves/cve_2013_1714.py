@@ -1,0 +1,47 @@
+"""CVE-2013-1714 — worker XHR bypasses the same-origin policy.
+
+Firefox's worker XMLHttpRequest path skipped the SOP check, so a worker
+could issue a cross-origin request and read the response.  JSKernel
+"enforces a policy to check the origins for all the requests coming from
+a web worker"; Chrome Zero's polyfill incidentally routes XHR through
+the (checked) main-thread path.
+"""
+
+from __future__ import annotations
+
+from ...runtime.origin import parse_url
+from ..base import CveAttack, run_until_key
+
+SECRET = "balance: 1,337.00 USD"
+TARGET = "https://bank.victim.example/api/account"
+
+
+class Cve2013_1714(CveAttack):
+    """Read a cross-origin response from inside a worker."""
+
+    name = "cve-2013-1714"
+    row = "CVE-2013-1714"
+    cve = "CVE-2013-1714"
+
+    def setup(self, browser, page) -> None:
+        """Host the victim's (cookie-authenticated) account endpoint."""
+        browser.network.host_simple(parse_url(TARGET), 900, body=SECRET)
+
+    def attempt(self, browser, page) -> bool:
+        """Worker XHR to the victim; success = response text obtained."""
+        box = {}
+
+        def attack(scope) -> None:
+            def worker_main(ws) -> None:
+                xhr = ws.XMLHttpRequest()
+                xhr.open("GET", TARGET)
+                xhr.onload = lambda: ws.postMessage(xhr.response_text)
+                xhr.send()
+
+            worker = scope.Worker(worker_main)
+            worker.onmessage = lambda event: box.__setitem__("loot", event.data)
+            worker.onerror = lambda event: box.__setitem__("loot", "")
+
+        page.run_script(attack)
+        loot = run_until_key(browser, box, "loot", self.timeout_ms)
+        return SECRET in str(loot)

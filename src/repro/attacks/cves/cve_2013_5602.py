@@ -1,0 +1,38 @@
+"""CVE-2013-5602 — null dereference assigning onmessage to a dead worker.
+
+Setting ``worker.onmessage`` after the worker wrapper was neutered
+dereferences a nulled listener slot in the buggy browser (an
+attacker-reachable crash primitive).  JSKernel traps the setter — the
+paper hooks "both the setter function of onmessage and
+setEventListener" — so the assignment never reaches the native wrapper.
+"""
+
+from __future__ import annotations
+
+from ..base import CveAttack, run_until_key
+
+
+class Cve2013_5602(CveAttack):
+    """Crash via onmessage assignment on a terminated worker."""
+
+    name = "cve-2013-5602"
+    row = "CVE-2013-5602"
+    cve = "CVE-2013-5602"
+
+    def attempt(self, browser, page) -> bool:
+        """Terminate, then assign onmessage (crashes on the buggy path)."""
+        box = {}
+
+        def attack(scope) -> None:
+            worker = scope.Worker(lambda ws: None)
+            worker.terminate()
+
+            def assign_late() -> None:
+                worker.onmessage = lambda event: None  # the trigger
+                box["done"] = True
+
+            scope.setTimeout(assign_late, 5)
+
+        page.run_script(attack)
+        run_until_key(browser, box, "done", self.timeout_ms)
+        return False  # reached only when no crash fired

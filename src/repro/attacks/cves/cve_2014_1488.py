@@ -1,0 +1,51 @@
+"""CVE-2014-1488 — transferable freed by worker termination (§IV-B).
+
+"The worker thread passes a transferable ArrayBuffer to the main thread
+but will free the ArrayBuffer once it is terminated."  The main thread
+owns the buffer after the transfer; the buggy teardown frees it anyway,
+so the main thread's next read is a use-after-free.
+
+JSKernel's policy: "if the worker thread passes a transferable object,
+the worker will only be terminated at the user level, but the kernel
+level will still maintain the worker."
+"""
+
+from __future__ import annotations
+
+from ..base import CveAttack, run_until_key
+
+
+class Cve2014_1488(CveAttack):
+    """UAF reading a buffer the dead worker transferred to us."""
+
+    name = "cve-2014-1488"
+    row = "CVE-2014-1488"
+    cve = "CVE-2014-1488"
+
+    def attempt(self, browser, page) -> bool:
+        """Receive a transferred buffer, terminate the sender, read."""
+        box = {}
+
+        def attack(scope) -> None:
+            def worker_main(ws) -> None:
+                buffer = ws.ArrayBuffer(4096)
+                buffer.write(0, 0x41)
+                ws.postMessage("asm-module", transfer=[buffer])
+
+            worker = scope.Worker(worker_main)
+
+            def on_message(event) -> None:
+                received = event.transferred[0]
+                worker.terminate()  # buggy teardown frees `received`'s store
+
+                def read_after() -> None:
+                    received.read(0, cve="CVE-2014-1488")  # the trigger
+                    box["done"] = True
+
+                scope.setTimeout(read_after, 2)
+
+            worker.onmessage = on_message
+
+        page.run_script(attack)
+        run_until_key(browser, box, "done", self.timeout_ms)
+        return False

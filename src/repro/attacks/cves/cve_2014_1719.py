@@ -1,0 +1,59 @@
+"""CVE-2014-1719 — structured clone forgets to neuter a transferable.
+
+The main thread transfers an ArrayBuffer into a worker; the buggy clone
+path skips the neutering, so the sender keeps a usable reference to a
+store that now belongs to the worker.  When the worker dies the store is
+freed (legitimately — the worker owned it) and the sender's stale
+reference is a dangling pointer.
+
+JSKernel's transfer-neuter policy detaches the sender's reference itself
+after every transfer, so the later read fails *safely* (a detached-buffer
+TypeError, not a UAF).
+"""
+
+from __future__ import annotations
+
+from ...errors import SimulationError
+from ..base import CveAttack, run_until_key
+
+
+class Cve2014_1719(CveAttack):
+    """UAF through a reference that should have been neutered."""
+
+    name = "cve-2014-1719"
+    row = "CVE-2014-1719"
+    cve = "CVE-2014-1719"
+
+    def attempt(self, browser, page) -> bool:
+        """Transfer a buffer in, kill the worker, read the stale ref."""
+        box = {}
+
+        def attack(scope) -> None:
+            buffer = scope.ArrayBuffer(4096)
+
+            def worker_main(ws) -> None:
+                ws.postMessage("ready")
+
+            worker = scope.Worker(worker_main)
+
+            def on_ready(_event) -> None:
+                worker.postMessage("take-this", transfer=[buffer])
+
+                def read_stale() -> None:
+                    try:
+                        buffer.read(0, cve="CVE-2014-1719")  # the trigger
+                    except SimulationError:
+                        pass  # detached-buffer TypeError: the SAFE outcome
+                    box["done"] = True
+
+                def kill() -> None:
+                    worker.terminate()  # frees the worker-owned store
+                    scope.setTimeout(read_stale, 2)
+
+                scope.setTimeout(kill, 3)
+
+            worker.onmessage = on_ready
+
+        page.run_script(attack)
+        run_until_key(browser, box, "done", self.timeout_ms)
+        return False

@@ -1,0 +1,37 @@
+"""CVE-2014-3194 — use-after-free posting to a terminated worker.
+
+``worker.postMessage`` after termination touches the worker's freed
+native message port on the buggy browser.  JSKernel's stub checks the
+kernel thread status and drops the message before anything native is
+reached (and with the lifecycle policy there is no freed port anyway).
+"""
+
+from __future__ import annotations
+
+from ..base import CveAttack, run_until_key
+
+
+class Cve2014_3194(CveAttack):
+    """UAF on the message port of a terminated worker."""
+
+    name = "cve-2014-3194"
+    row = "CVE-2014-3194"
+    cve = "CVE-2014-3194"
+
+    def attempt(self, browser, page) -> bool:
+        """Terminate, then postMessage (UAF on the buggy path)."""
+        box = {}
+
+        def attack(scope) -> None:
+            worker = scope.Worker(lambda ws: None)
+            worker.terminate()
+
+            def post_late() -> None:
+                worker.postMessage({"cmd": "poke"})  # the trigger
+                box["done"] = True
+
+            scope.setTimeout(post_late, 5)
+
+        page.run_script(attack)
+        run_until_key(browser, box, "done", self.timeout_ms)
+        return False

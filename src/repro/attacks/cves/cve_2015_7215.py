@@ -1,0 +1,54 @@
+"""CVE-2015-7215 — importScripts() error message leaks cross-origin info.
+
+A worker calls ``importScripts`` on a cross-origin URL; the failure
+message on the buggy browser embeds the target URL and parse details,
+disclosing cross-origin state (e.g. whether a user-specific resource
+exists, or redirect destinations).  JSKernel's error-sanitizer policy
+throws a new message without the cross-origin information.
+"""
+
+from __future__ import annotations
+
+from ...runtime.network import Resource
+from ...runtime.origin import parse_url
+from ..base import CveAttack, run_until_key
+
+SECRET = "beta-user-4711"
+TARGET = f"https://victim.example/users/{SECRET}/profile.js"
+
+
+class Cve2015_7215(CveAttack):
+    """Read cross-origin details out of the importScripts error."""
+
+    name = "cve-2015-7215"
+    row = "CVE-2015-7215"
+    cve = "CVE-2015-7215"
+
+    def setup(self, browser, page) -> None:
+        """Host a cross-origin script that fails to parse."""
+        browser.network.host(
+            Resource(
+                parse_url(TARGET),
+                2_000,
+                "text/javascript",
+                body=SyntaxError(f"unexpected token in {SECRET} config"),
+            )
+        )
+
+    def attempt(self, browser, page) -> bool:
+        """Worker imports the cross-origin script; inspect the error."""
+        box = {}
+
+        def attack(scope) -> None:
+            def worker_main(ws) -> None:
+                try:
+                    ws.importScripts(TARGET)
+                except Exception as exc:
+                    ws.postMessage(str(exc))
+
+            worker = scope.Worker(worker_main)
+            worker.onmessage = lambda event: box.__setitem__("message", event.data)
+
+        page.run_script(attack)
+        message = run_until_key(browser, box, "message", self.timeout_ms)
+        return SECRET in str(message)

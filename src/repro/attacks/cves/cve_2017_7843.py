@@ -1,0 +1,48 @@
+"""CVE-2017-7843 — indexedDB data persists across private sessions.
+
+A site writes a marker into indexedDB from a private window; on the
+buggy browser the write lands in the persistent store, so a *later*
+private session can read it back and fingerprint the returning user.
+JSKernel's policy denies indexedDB in private browsing outright ("to
+obey the mode's specification").
+"""
+
+from __future__ import annotations
+
+from ..base import CveAttack, run_until_key
+
+MARKER_KEY = "visitor-fingerprint"
+MARKER_VALUE = "fp-8c41"
+
+
+class Cve2017_7843(CveAttack):
+    """Fingerprint a user across supposedly-ephemeral private sessions."""
+
+    name = "cve-2017-7843"
+    row = "CVE-2017-7843"
+    cve = "CVE-2017-7843"
+    page_url = "https://tracker.example/"
+
+    def attempt(self, browser, page) -> bool:
+        """Write in private session 1, read in private session 2."""
+        first = browser.open_page(self.page_url, private=True)
+        box = {}
+
+        def write_marker(scope) -> None:
+            scope.indexedDB.put(MARKER_KEY, MARKER_VALUE)
+            box["written"] = True
+
+        first.run_script(write_marker)
+        run_until_key(browser, box, "written", self.timeout_ms)
+
+        # the private window closes: ephemeral data must be gone
+        browser.idb.end_private_session()
+
+        second = browser.open_page(self.page_url, private=True)
+
+        def read_marker(scope) -> None:
+            box["readback"] = scope.indexedDB.get(MARKER_KEY)
+
+        second.run_script(read_marker)
+        run_until_key(browser, box, "readback", self.timeout_ms)
+        return box["readback"] == MARKER_VALUE

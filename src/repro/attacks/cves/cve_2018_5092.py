@@ -1,0 +1,66 @@
+"""CVE-2018-5092 — use-after-free: abort on a freed fetch (paper Listing 2).
+
+Trigger sequence (three interleaved functions across two threads):
+
+1. the worker registers a ``fetch`` with an abort signal;
+2. the worker is *falsely terminated* while the fetch is in flight — the
+   buggy browser frees the native request object but forgets to
+   unregister it from the abort signal;
+3. the main thread fires the abort signal, dereferencing the freed
+   request.
+
+JSKernel's worker-lifecycle policy closes the thread at the user level
+only, so the buggy teardown never runs and the abort path only ever sees
+live registrations.
+"""
+
+from __future__ import annotations
+
+from ...runtime.origin import parse_url
+from ..base import CveAttack, run_until_key
+
+
+class Cve2018_5092(CveAttack):
+    """Abort signal fired at a freed fetch request."""
+
+    name = "cve-2018-5092"
+    row = "CVE-2018-5092"
+    cve = "CVE-2018-5092"
+
+    def setup(self, browser, page) -> None:
+        """Host the fetched file (same-origin, as in the exploit)."""
+        browser.network.host_simple(
+            parse_url("https://attacker.example/fetchedfile0.html"), 64_000
+        )
+
+    def attempt(self, browser, page) -> bool:
+        """Drive the Listing 2 sequence; a UAF raises out of the run."""
+        box = {}
+        shared = {}
+
+        def attack(scope) -> None:
+            def worker_main(ws) -> None:
+                controller = ws.AbortController()
+                shared["controller"] = controller  # reload's internal abort
+                ws.fetch("/fetchedfile0.html", {"signal": controller.signal}).then(
+                    lambda _r: None, lambda _e: None
+                )
+                ws.postMessage("fetch-started")
+
+            worker = scope.Worker(worker_main)
+
+            def on_message(_event) -> None:
+                # false termination while the fetch is in flight...
+                worker.terminate()
+                # ...then the main thread's unload path aborts the signal
+                def fire_abort() -> None:
+                    shared["controller"].abort(cve="CVE-2018-5092")
+                    box["done"] = True
+
+                scope.setTimeout(fire_abort, 1)
+
+            worker.onmessage = on_message
+
+        page.run_script(attack)
+        run_until_key(browser, box, "done", self.timeout_ms)
+        return False  # reached only if no crash fired

@@ -1,0 +1,85 @@
+"""Attack registry: the 22 rows of Table I, in row order."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .base import Attack
+from .cves import (
+    Cve2010_4576,
+    Cve2011_1190,
+    Cve2013_1714,
+    Cve2013_5602,
+    Cve2013_6646,
+    Cve2014_1487,
+    Cve2014_1488,
+    Cve2014_1719,
+    Cve2014_3194,
+    Cve2015_7215,
+    Cve2017_7843,
+    Cve2018_5092,
+)
+from .timing.sab_timer import SabTimerAttack
+from .timing import (
+    CacheAttack,
+    ClockEdgeAttack,
+    CssAnimationAttack,
+    FloatingPointAttack,
+    HistorySniffingAttack,
+    ImageDecodingAttack,
+    LoopscanAttack,
+    ScriptParsingAttack,
+    SvgFilteringAttack,
+    VideoWebVttAttack,
+)
+
+#: Table I rows in paper order.
+TABLE1_ATTACKS: List[Type[Attack]] = [
+    # setTimeout as the implicit clock
+    CacheAttack,
+    ScriptParsingAttack,
+    ImageDecodingAttack,
+    ClockEdgeAttack,
+    # requestAnimationFrame / animation as the implicit clock
+    HistorySniffingAttack,
+    SvgFilteringAttack,
+    FloatingPointAttack,
+    LoopscanAttack,
+    CssAnimationAttack,
+    VideoWebVttAttack,
+    # other web concurrency attacks (CVEs)
+    Cve2018_5092,
+    Cve2017_7843,
+    Cve2015_7215,
+    Cve2014_3194,
+    Cve2014_1719,
+    Cve2014_1488,
+    Cve2014_1487,
+    Cve2013_6646,
+    Cve2013_5602,
+    Cve2013_1714,
+    Cve2011_1190,
+    Cve2010_4576,
+]
+
+#: Extension attacks beyond Table I (see each module's docstring).
+EXTENSION_ATTACKS: List[Type[Attack]] = [
+    SabTimerAttack,
+]
+
+_by_name: Dict[str, Type[Attack]] = {
+    cls.name: cls for cls in TABLE1_ATTACKS + EXTENSION_ATTACKS
+}
+
+
+def attack_names() -> List[str]:
+    """All registered attack names, in Table I row order."""
+    return [cls.name for cls in TABLE1_ATTACKS]
+
+
+def create(name: str) -> Attack:
+    """Instantiate an attack by name."""
+    try:
+        return _by_name[name]()
+    except KeyError:
+        raise KeyError(f"unknown attack {name!r}; have {attack_names()}")

@@ -1,0 +1,25 @@
+"""Timing attacks: the implicit-clock rows of Table I."""
+
+from .cache import CacheAttack
+from .clock_edge import ClockEdgeAttack
+from .css_animation import CssAnimationAttack
+from .floating_point import FloatingPointAttack
+from .history_sniffing import HistorySniffingAttack
+from .image_decoding import ImageDecodingAttack
+from .loopscan import LoopscanAttack
+from .script_parsing import ScriptParsingAttack
+from .svg_filtering import SvgFilteringAttack
+from .video_webvtt import VideoWebVttAttack
+
+__all__ = [
+    "CacheAttack",
+    "ClockEdgeAttack",
+    "CssAnimationAttack",
+    "FloatingPointAttack",
+    "HistorySniffingAttack",
+    "ImageDecodingAttack",
+    "LoopscanAttack",
+    "ScriptParsingAttack",
+    "SvgFilteringAttack",
+    "VideoWebVttAttack",
+]

@@ -1,0 +1,52 @@
+"""Cache attack (Oren et al. [7]) with a setTimeout implicit clock.
+
+Simplified per the paper §IV-A1: "measuring the access time of flushed
+and unflushed contents".  The secret is whether a shared resource is in
+the cache; the adversary measures its fetch completion time by counting
+ticks of a free-running setTimeout chain — no explicit clock needed.
+"""
+
+from __future__ import annotations
+
+from ...runtime.origin import parse_url
+from ..base import TimingAttack, run_until_key
+from ..implicit_clocks import TimerTickClock
+
+#: The probed shared resource (cross-origin CDN object).
+PROBE_URL = "https://shared-cdn.example/lib.js"
+PROBE_SIZE = 120_000
+
+
+class CacheAttack(TimingAttack):
+    """Distinguish cached from uncached shared content."""
+
+    name = "cache-attack"
+    row = "Cache Attack [7]"
+    group = "setTimeout"
+    secret_a = "cached"
+    secret_b = "uncached"
+
+    def setup(self, browser, page, secret: str) -> None:
+        """Host the probe; prime or flush the cache per the secret."""
+        url = parse_url(PROBE_URL)
+        browser.network.host_simple(url, PROBE_SIZE, body="shared-lib")
+        if secret == "cached":
+            browser.network.prime_cache(url)
+        else:
+            browser.network.flush_cache(url)
+
+    def measure(self, browser, page, secret: str) -> float:
+        """Tick count between fetch start and fetch completion."""
+        box = {}
+
+        def attack(scope) -> None:
+            clock = TimerTickClock(scope, period_ms=1)
+            clock.start()
+            start = clock.read()
+            scope.fetch(PROBE_URL).then(
+                lambda _resp: box.__setitem__("measurement", clock.read() - start),
+                lambda _err: box.__setitem__("measurement", clock.read() - start),
+            )
+
+        page.run_script(attack)
+        return float(run_until_key(browser, box, "measurement", self.timeout_ms))

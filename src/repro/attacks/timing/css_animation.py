@@ -1,0 +1,57 @@
+"""CSS-animation timing attack (Schwarz et al., "Fantastic Timers" [12]).
+
+A running CSS animation is a clock: its computed progress, read via
+``getComputedStyle``, reveals elapsed time at compositor precision even
+when every explicit clock is degraded.  The attacker samples progress,
+runs the secret operation synchronously, samples again — the progress
+delta is the operation's duration.
+"""
+
+from __future__ import annotations
+
+from ..base import TimingAttack, run_until_key
+
+#: Animation sweep: 0..1000 px over 1 s, so 1 progress unit = 1 ms.
+ANIMATION_SPAN = 1000.0
+ANIMATION_DURATION_MS = 1000.0
+
+#: Secret operation durations (ms): e.g. two different cross-origin
+#: render/layout operations whose cost the adversary wants.
+SECRETS_MS = {"short": 6.0, "long": 14.0}
+
+
+class CssAnimationAttack(TimingAttack):
+    """Measure a synchronous operation with the animation clock."""
+
+    name = "css-animation"
+    row = "CSS Animation [12]"
+    group = "raf"
+    secret_a = "short"
+    secret_b = "long"
+    # Fuzzyfox adds ~1 ms fuzz to the animation clock; the averaging
+    # adversary needs a few more repetitions to shrug it off
+    trials = 14
+
+    def measure(self, browser, page, secret: str) -> float:
+        """Animation-progress delta across the secret operation."""
+        box = {}
+        duration_ms = SECRETS_MS[secret]
+
+        def attack(scope) -> None:
+            element = scope.document.create_element("div")
+            scope.document.body.append_child(element)
+            scope.animate(
+                element, "left", 0.0, ANIMATION_SPAN, ANIMATION_DURATION_MS
+            )
+
+            def sample_and_measure() -> None:
+                before = scope.getComputedStyle(element, "left")
+                scope.busy_work(duration_ms)
+                after = scope.getComputedStyle(element, "left")
+                box["measurement"] = after - before
+
+            # let the animation start ticking before sampling
+            scope.setTimeout(sample_and_measure, 30)
+
+        page.run_script(attack)
+        return float(run_until_key(browser, box, "measurement", self.timeout_ms))

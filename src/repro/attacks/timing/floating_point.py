@@ -1,0 +1,53 @@
+"""Floating-point timing attack (Andrysco et al. [10]).
+
+Subnormal floating-point operands make FPU multiplications dramatically
+slower; an SVG feConvolveMatrix over a cross-origin image therefore takes
+frame time that depends on whether the (secret) pixels produce subnormal
+intermediates.  Pixel stealing reads this off requestAnimationFrame
+deltas, one pixel batch at a time.
+"""
+
+from __future__ import annotations
+
+from ...analysis.stats import mean
+from ...runtime.svgfilter import subnormal_multiply_cost
+from ..base import TimingAttack, run_until_key
+from ..implicit_clocks import RafTimestampClock
+
+#: Multiplications per frame (one convolution pass over the pixel batch).
+OPS_PER_FRAME = 400_000
+FRAMES = 8
+
+
+class FloatingPointAttack(TimingAttack):
+    """Distinguish subnormal from normal pixel values via frame time."""
+
+    name = "floating-point"
+    row = "Floating Point [10]"
+    group = "raf"
+    secret_a = "subnormal"
+    secret_b = "normal"
+    timeout_ms = 6_000
+
+    def measure(self, browser, page, secret: str) -> float:
+        """Mean rAF delta while convolving the secret pixels."""
+        box = {}
+        per_frame_cost = subnormal_multiply_cost(secret == "subnormal", OPS_PER_FRAME)
+
+        def attack(scope) -> None:
+            element = scope.document.create_element("canvas")
+            scope.document.body.append_child(element)
+
+            def convolve(_frame_index: int) -> None:
+                element.pending_paint_cost += per_frame_cost
+                scope.document.mark_dirty()
+
+            def on_done(_timestamps) -> None:
+                box["measurement"] = mean(clock.deltas()[1:])
+
+            clock = RafTimestampClock(scope, frames=FRAMES, on_done=on_done)
+            clock.per_frame_work = convolve
+            clock.start()
+
+        page.run_script(attack)
+        return float(run_until_key(browser, box, "measurement", self.timeout_ms))

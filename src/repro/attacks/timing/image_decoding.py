@@ -1,0 +1,60 @@
+"""Image-decoding attack (van Goethem et al. [8]).
+
+The sibling of script parsing: the cross-origin resource is loaded as an
+``<img>`` and the (secret-dependent) decode time leaks through the same
+setTimeout-chain implicit clock.
+"""
+
+from __future__ import annotations
+
+from ...runtime.origin import parse_url
+from ...runtime.network import Resource
+from ...runtime.svgfilter import SimImage
+from ..base import TimingAttack, run_until_key
+from ..implicit_clocks import TimerTickClock
+
+CROSS_ORIGIN_HOST = "https://photos.example"
+
+
+class ImageDecodingAttack(TimingAttack):
+    """Infer a cross-origin image's resolution from decode time."""
+
+    name = "image-decoding"
+    row = "Image Decoding [8]"
+    group = "setTimeout"
+    secret_a = "small"
+    secret_b = "large"
+    timeout_ms = 8_000
+
+    #: Secret resolutions (pixels per side).
+    resolutions = {"small": 700, "large": 2400}
+
+    def setup(self, browser, page, secret: str) -> None:
+        """Host the image with the secret resolution.
+
+        The cache is primed first — van Goethem et al.'s refinement: a
+        cached response isolates the *processing* (decode) time from
+        network jitter, which is what defeats slow/noisy networks (Tor).
+        """
+        side = self.resolutions[secret]
+        image = SimImage(side, side, dark_fraction=0.4, label=secret, cross_origin=True)
+        url = parse_url(f"{CROSS_ORIGIN_HOST}/photo.png")
+        browser.network.host(Resource(url, side * side // 6, "image/png", body=image))
+        browser.network.prime_cache(url)
+
+    def measure(self, browser, page, secret: str) -> float:
+        """Tick count from append to onload."""
+        box = {}
+
+        def attack(scope) -> None:
+            clock = TimerTickClock(scope, period_ms=1)
+            clock.start()
+            element = scope.Image()
+            start = clock.read()
+            element.onload = lambda: box.__setitem__("measurement", clock.read() - start)
+            element.onerror = lambda: box.__setitem__("measurement", clock.read() - start)
+            scope.document.body.append_child(element)
+            element.set_attribute("src", f"{CROSS_ORIGIN_HOST}/photo.png")
+
+        page.run_script(attack)
+        return float(run_until_key(browser, box, "measurement", self.timeout_ms))

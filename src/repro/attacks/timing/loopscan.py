@@ -1,0 +1,80 @@
+"""Loopscan attack (Vila & Köpf, "Loophole" [11]).
+
+Browsing contexts that share an event loop observe each other's task
+pattern: the attacker spins a window.postMessage-to-self loop and records
+the interval between consecutive onmessage callbacks; while a co-resident
+(cross-origin) page runs a long task, the attacker's messages stall.  The
+maximum observed event interval fingerprints which site is loading —
+Table II reports google.com vs youtube.com.
+"""
+
+from __future__ import annotations
+
+from ...workloads.sites import load_site, loopscan_target
+from ..base import TimingAttack, run_until_key
+
+#: How long the attacker profiles the loop (virtual ms).
+PROFILE_WINDOW_MS = 90.0
+
+
+class LoopscanAttack(TimingAttack):
+    """Which site is loading in the co-resident context?"""
+
+    name = "loopscan"
+    row = "Loopscan [11]"
+    group = "raf"
+    secret_a = "google"
+    secret_b = "youtube"
+    timeout_ms = 60_000
+
+    def measure(self, browser, page, secret: str) -> float:
+        """Maximum event interval (ms) during the victim's load."""
+        box = {}
+        victim = loopscan_target(secret)
+        # the victim page shares the attacker's event loop (iframe)
+        load_site(browser, victim, page=_SharedLoopView(page, victim))
+
+        def attack(scope) -> None:
+            state = {"last": None, "max_gap": 0.0, "done": False}
+            t_begin = scope.performance.now()
+
+            def on_message(_event) -> None:
+                if state["done"]:
+                    return
+                now = scope.performance.now()
+                if state["last"] is not None:
+                    gap = now - state["last"]
+                    if gap > state["max_gap"]:
+                        state["max_gap"] = gap
+                state["last"] = now
+                if now - t_begin >= PROFILE_WINDOW_MS * scope.js_cost_scale:
+                    state["done"] = True
+                    box["measurement"] = state["max_gap"]
+                    return
+                scope.busy_work(0.3)  # per-iteration handler work
+                scope.postMessage("tick")
+
+            scope.onmessage = on_message
+            scope.postMessage("tick")
+
+        page.run_script(attack)
+        return float(run_until_key(browser, box, "measurement", self.timeout_ms))
+
+
+class _SharedLoopView:
+    """Adapter: run the victim site inside the attacker's event loop.
+
+    Models an iframe: a separate browsing context whose tasks land on the
+    same main thread.  Only the surface :func:`load_site` needs.
+    """
+
+    def __init__(self, page, site):
+        self._page = page
+        self.scope = page.scope
+        self.loop = page.loop
+
+    def run_script(self, body, label: str = "iframe-script") -> None:
+        self._page.loop.post(lambda: body(self._page.scope), label=label)
+
+    def arm_load_event(self) -> None:
+        """Iframe load completion is not observed by the attack."""

@@ -1,0 +1,74 @@
+"""Script-parsing attack (van Goethem et al. [8]).
+
+Load a cross-origin resource as a ``<script>``; network transfer and
+parse time both grow with the (secret) file size, and a setTimeout-chain
+implicit clock counts ticks between appending the element and its
+``onload`` event.  Figure 2 sweeps the file size; Table I distinguishes
+two sizes.
+"""
+
+from __future__ import annotations
+
+from ...runtime.origin import parse_url
+from ..base import TimingAttack, run_until_key
+from ..implicit_clocks import TimerTickClock
+
+CROSS_ORIGIN_HOST = "https://social-network.example"
+
+#: Table I secrets: small vs large cross-origin file (bytes).
+SMALL_BYTES = 2 * 1024 * 1024
+LARGE_BYTES = 10 * 1024 * 1024
+
+#: Nominal tick period used to convert counts to "reported time".  The
+#: size signal is seconds on an ADSL-class link, so a coarse tick keeps
+#: the chain cheap without losing resolution.
+TICK_MS = 25.0
+
+
+class ScriptParsingAttack(TimingAttack):
+    """Infer a cross-origin file's size from script load+parse time."""
+
+    name = "script-parsing"
+    row = "Script Parsing [8]"
+    group = "setTimeout"
+    secret_a = "small"
+    secret_b = "large"
+    trials = 6
+    timeout_ms = 20_000
+
+    def __init__(self, size_a: int = SMALL_BYTES, size_b: int = LARGE_BYTES):
+        self.sizes = {"small": size_a, "large": size_b}
+
+    def setup(self, browser, page, secret: str) -> None:
+        """Host the cross-origin file at the secret size.
+
+        Both the streaming transfer and the parse scale with the secret
+        size; on any realistic link the transfer dominates and dwarfs
+        network jitter, so the attack needs only a coarse tick.
+        """
+        url = parse_url(f"{CROSS_ORIGIN_HOST}/friends.json")
+        browser.network.host_simple(url, self.sizes[secret], body=lambda scope: None)
+
+    def measure(self, browser, page, secret: str) -> float:
+        """Tick count from append to onload."""
+        box = {}
+
+        def attack(scope) -> None:
+            clock = TimerTickClock(scope, period_ms=TICK_MS)
+            clock.start()
+            element = scope.document.create_element("script")
+            start = clock.read()
+            element.onload = lambda: box.__setitem__("measurement", clock.read() - start)
+            element.onerror = lambda: box.__setitem__("measurement", clock.read() - start)
+            scope.document.body.append_child(element)
+            element.set_attribute("src", f"{CROSS_ORIGIN_HOST}/friends.json")
+
+        page.run_script(attack)
+        return float(run_until_key(browser, box, "measurement", self.timeout_ms))
+
+    # ------------------------------------------------------------------
+    def reported_time_ms(self, defense_name: str, size_bytes: int, seed: int = 0) -> float:
+        """Figure 2 series point: reported time for one file size."""
+        self.sizes["sweep"] = size_bytes
+        measurement = self.run_trial(defense_name, "sweep", seed)
+        return measurement * TICK_MS

@@ -1,0 +1,60 @@
+"""SVG filtering attack (Stone [9], DeterFox's running example [14]).
+
+Apply an expensive SVG filter (erode) to a cross-origin image; the
+per-frame filter cost depends on the image's resolution and content, and
+requestAnimationFrame timestamps around the filtered frame reveal it.
+Table II reports the measured time for a low- and a high-resolution
+image under every defense; only JSKernel pins both at its deterministic
+10 ms rAF slot.
+"""
+
+from __future__ import annotations
+
+from ...analysis.stats import mean
+from ...runtime.svgfilter import SimImage
+from ..base import TimingAttack, run_until_key
+from ..implicit_clocks import RafTimestampClock
+
+#: Table II's two secret images.
+LOW_RES = SimImage(320, 320, dark_fraction=0.5, label="low-res", cross_origin=True)
+HIGH_RES = SimImage(760, 760, dark_fraction=0.5, label="high-res", cross_origin=True)
+
+#: Erode passes per frame.
+FILTER_ITERATIONS = 2
+#: Frames measured (the paper averages 25 runs; we average frames+trials).
+FRAMES = 8
+
+
+class SvgFilteringAttack(TimingAttack):
+    """Distinguish two cross-origin image resolutions via filter timing."""
+
+    name = "svg-filtering"
+    row = "SVG Filtering [9]"
+    group = "raf"
+    secret_a = "low"
+    secret_b = "high"
+    timeout_ms = 6_000
+
+    images = {"low": LOW_RES, "high": HIGH_RES}
+
+    def measure(self, browser, page, secret: str) -> float:
+        """Mean rAF delta while the filter re-applies every frame."""
+        box = {}
+        image = self.images[secret]
+
+        def attack(scope) -> None:
+            element = scope.document.create_element("div")
+            scope.document.body.append_child(element)
+
+            def on_done(_timestamps) -> None:
+                deltas = clock.deltas()[1:]  # skip warm-up frame
+                box["measurement"] = mean(deltas)
+
+            clock = RafTimestampClock(scope, frames=FRAMES, on_done=on_done)
+            clock.per_frame_work = lambda _i: scope.applyFilter(
+                element, "erode", image, FILTER_ITERATIONS
+            )
+            clock.start()
+
+        page.run_script(attack)
+        return float(run_until_key(browser, box, "measurement", self.timeout_ms))

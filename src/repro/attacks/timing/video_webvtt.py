@@ -1,0 +1,48 @@
+"""Video/WebVTT clock attack (Kohlbrenner & Shacham [6]).
+
+``video.currentTime`` during playback is yet another clock the browser
+forgets to police: sample it, run the secret operation, sample again.
+WebVTT cue events provide the same signal as periodic callbacks; the
+attack here uses the currentTime sampling variant and registers a cue to
+show the cue pipeline is exercised under every defense.
+"""
+
+from __future__ import annotations
+
+from ...runtime.media import WebVTTCue
+from ..base import TimingAttack, run_until_key
+
+SECRETS_MS = {"short": 6.0, "long": 14.0}
+
+
+class VideoWebVttAttack(TimingAttack):
+    """Measure a synchronous operation with the video playback clock."""
+
+    name = "video-webvtt"
+    row = "Video/WebVTT [6]"
+    group = "raf"
+    secret_a = "short"
+    secret_b = "long"
+
+    def measure(self, browser, page, secret: str) -> float:
+        """currentTime delta (seconds -> ms) across the secret operation."""
+        box = {}
+        duration_ms = SECRETS_MS[secret]
+
+        def attack(scope) -> None:
+            video = scope.createVideo(60_000.0)
+            cue = WebVTTCue(5.0, 10.0)
+            cue.on_enter = lambda _cue: None  # exercises cue scheduling
+            video.add_cue(cue)
+            video.play()
+
+            def sample_and_measure() -> None:
+                before = video.current_time
+                scope.busy_work(duration_ms)
+                after = video.current_time
+                box["measurement"] = (after - before) * 1000.0
+
+            scope.setTimeout(sample_and_measure, 30)
+
+        page.run_script(attack)
+        return float(run_until_key(browser, box, "measurement", self.timeout_ms))

@@ -1,0 +1,56 @@
+"""Defenses evaluated in the paper's Table I, plus ablation variants."""
+
+from .base import Defense, available, create, make_browser, register
+from .chromezero import ChromeZero, PolyfillWorkerHandle
+from .deterfox import DeterFox
+from .fuzzyfox import Fuzzyfox
+from .jskernel_defense import (
+    JSKernelDefense,
+    JSKernelNoCvePolicies,
+    JSKernelNoDeterminism,
+)
+from .legacy import LegacyBrowser
+from .torbrowser import TorBrowser
+
+# The Table I columns.
+register("legacy-chrome", lambda: LegacyBrowser("chrome"))
+register("legacy-firefox", lambda: LegacyBrowser("firefox"))
+register("legacy-edge", lambda: LegacyBrowser("edge"))
+register("fuzzyfox", Fuzzyfox)
+register("deterfox", DeterFox)
+register("tor", TorBrowser)
+register("chromezero", ChromeZero)
+register("jskernel", JSKernelDefense)
+# Ablations (not paper columns).
+register("jskernel-nodet", JSKernelNoDeterminism)
+register("jskernel-nocve", JSKernelNoCvePolicies)
+
+#: The seven defense configurations of Table I, in column order.
+TABLE1_DEFENSES = [
+    "legacy-chrome",
+    "legacy-firefox",
+    "legacy-edge",
+    "fuzzyfox",
+    "deterfox",
+    "tor",
+    "chromezero",
+    "jskernel",
+]
+
+__all__ = [
+    "ChromeZero",
+    "Defense",
+    "DeterFox",
+    "Fuzzyfox",
+    "JSKernelDefense",
+    "JSKernelNoCvePolicies",
+    "JSKernelNoDeterminism",
+    "LegacyBrowser",
+    "PolyfillWorkerHandle",
+    "TABLE1_DEFENSES",
+    "TorBrowser",
+    "available",
+    "create",
+    "make_browser",
+    "register",
+]

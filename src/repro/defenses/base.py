@@ -1,0 +1,67 @@
+"""Defense interface and registry.
+
+A defense is anything installable into a :class:`Browser` before pages
+exist: it may swap the clock-policy factory, hook page/worker creation,
+or replace API implementations.  The registry maps the paper's Table I
+column names to factories so the matrix harness can iterate them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..runtime.browser import Browser
+from ..runtime.profiles import BrowserProfile, by_name, vulnerable
+
+
+class Defense:
+    """Base defense: does nothing (legacy browser)."""
+
+    #: Registry/report name.
+    name = "none"
+    #: Which browser the defense ships on (None = any).
+    base_browser: Optional[str] = None
+
+    def install(self, browser: Browser) -> None:
+        """Apply the defense to a freshly constructed browser."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Defense {self.name}>"
+
+
+_registry: Dict[str, Callable[[], Defense]] = {}
+
+
+def register(name: str, factory: Callable[[], Defense]) -> None:
+    """Add a defense factory to the registry."""
+    _registry[name] = factory
+
+
+def create(name: str) -> Defense:
+    """Instantiate a registered defense."""
+    try:
+        return _registry[name]()
+    except KeyError:
+        raise KeyError(f"unknown defense {name!r}; have {sorted(_registry)}")
+
+
+def available() -> List[str]:
+    """All registered defense names."""
+    return sorted(_registry)
+
+
+def make_browser(
+    defense_name: str,
+    browser_name: str = "chrome",
+    seed: int = 0,
+    with_bugs: bool = True,
+) -> Browser:
+    """Build a browser running a defense, as the Table I setup does.
+
+    ``with_bugs=True`` uses the vulnerable legacy profile (the paper
+    downloads the vulnerable browser build and layers the defense on it).
+    """
+    defense = create(defense_name)
+    base = defense.base_browser or browser_name
+    profile: BrowserProfile = vulnerable(base) if with_bugs else by_name(base)
+    return Browser(profile=profile, defense=defense, seed=seed)

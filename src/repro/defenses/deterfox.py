@@ -1,0 +1,96 @@
+"""DeterFox (Cao et al., CCS 2017): the deterministic browser.
+
+DeterFox enforces deterministic *cross-origin-observable* event timing
+inside Firefox itself.  We model it by reusing the kernel's deterministic
+scheduling machinery for asynchronous completions — timers, rAF, fetch,
+subresource onload/onerror — compiled into the browser (there is no
+policy layer, no worker thread manager, and no clock replacement):
+
+* async deliveries land on deterministic slots → the cache, script
+  parsing, image decoding, history sniffing, SVG filtering and floating
+  point attacks are defeated, matching its paper;
+* ``performance.now`` stays a real (quantised) clock and the window
+  postMessage channel stays native → clock-edge, CSS-animation,
+  video/WebVTT and loopscan channels remain, and none of the worker
+  CVEs are addressed — which is where JSKernel goes beyond it;
+* it is a Firefox *fork*: ``base_browser`` is pinned, mirroring the
+  paper's point that it cannot simply be carried to Chrome/Edge.
+"""
+
+from __future__ import annotations
+
+from ..kernel.interface import KernelInterface
+from ..kernel.policies.deterministic import DeterministicSchedulingPolicy
+from ..kernel.policy import CompositePolicy, SchedulingGrid
+from ..kernel.space import KernelSpace
+from .base import Defense
+
+
+class DeterFox(Defense):
+    """Deterministic async delivery, Firefox-only, no kernel layer."""
+
+    name = "deterfox"
+    base_browser = "firefox"
+
+    def __init__(self):
+        self.grid = SchedulingGrid()
+        self.policy = CompositePolicy([DeterministicSchedulingPolicy()])
+
+    def install(self, browser) -> None:
+        """Hook pages; workers are left entirely native."""
+        browser.page_hooks.append(self._on_page)
+
+    def _on_page(self, page) -> None:
+        kspace = KernelSpace(
+            page.loop, self.policy, self.grid, label=f"deterfox:{page.origin.host}"
+        )
+        interface = KernelInterface(kspace)
+        interface.install_timers(page.scope)
+        interface.install_raf(page.scope)
+        interface.install_fetch(page.scope)
+        interface.install_dom_loading(page)
+        self._wrap_worker_messages(page, kspace)
+        # a Firefox fork patched in C++: occasional loading errors (the
+        # paper's §V-B1 explanation for DeterFox's app incompatibilities)
+        page.load_failure_rate = 0.2
+        # NOT installed (the JSKernel delta): kernel clocks, the window
+        # self-postMessage channel shared with OTHER pages (loopscan's
+        # probe — DeterFox's determinism is per-page), animation/media
+        # clocks, SharedArrayBuffer, the kernel thread manager, and every
+        # security policy.
+        page.deterfox_kspace = kspace
+
+    def _wrap_worker_messages(self, page, kspace: KernelSpace) -> None:
+        """Same-page determinism covers worker message delivery.
+
+        Worker->main deliveries are re-ordered onto deterministic slots;
+        the workers themselves stay native (no kernel threads, none of
+        the lifecycle policies — the CVE rows stay open).
+        """
+        native_worker = page.scope.Worker
+
+        def deterministic_worker(src):
+            handle = native_worker(src)
+            user = {"handler": None}
+
+            def receiver(event) -> None:
+                handler = user["handler"]
+                if handler is not None:
+                    kspace.scheduler.register_confirmed(
+                        "message", handler, args=(event,), label="dworker-msg",
+                        chain=f"msg:worker-{id(handle)}",
+                    )
+
+            def trap(fn) -> None:
+                # run the native setter first: DeterFox is only a
+                # scheduling change, the (possibly buggy) native
+                # assignment path is untouched
+                handle._native_set_onmessage(fn)
+                user["handler"] = fn
+                handle.set_raw("onmessage", receiver)
+
+            handle.define_setter_trap("onmessage", trap)
+            handle.set_raw("onmessage", receiver)
+            return handle
+
+        page.scope.Worker = deterministic_worker

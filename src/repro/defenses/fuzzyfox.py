@@ -1,0 +1,75 @@
+"""Fuzzyfox (Kohlbrenner & Shacham, USENIX Security 2016).
+
+Two mechanisms, both randomized:
+
+* **fuzzy clocks** — every explicit clock reports a value that only moves
+  forward at randomised instants (:class:`FuzzyClockPolicy`), killing the
+  clock-edge attack;
+* **pause tasks** — randomly sized pause tasks are injected into every
+  event loop, degrading every *implicit* clock into a noisy one.  Noise,
+  unlike determinism, can be averaged away — which is why Table I still
+  marks Fuzzyfox vulnerable to most implicit-clock attacks, and why the
+  paper's Figure 3 shows it among the slowest configurations.
+"""
+
+from __future__ import annotations
+
+from ..runtime.clock import FuzzyClockPolicy
+from ..runtime.simtime import ms
+from ..runtime.task import TaskSource
+from .base import Defense
+
+
+class Fuzzyfox(Defense):
+    """Fuzzy time + event-loop pause tasks (Firefox variant)."""
+
+    name = "fuzzyfox"
+    base_browser = "firefox"
+
+    def __init__(
+        self,
+        fuzz_resolution_ns: int = ms(1),
+        pause_interval_ns: int = ms(1),
+        pause_max_cost_ns: int = ms(8),
+    ):
+        self.fuzz_resolution_ns = fuzz_resolution_ns
+        self.pause_interval_ns = pause_interval_ns
+        self.pause_max_cost_ns = pause_max_cost_ns
+
+    def install(self, browser) -> None:
+        """Swap in fuzzy clocks and start pause pumps on every loop."""
+        rng = browser.rng.stream("fuzzyfox")
+        browser.clock_policy_factory = lambda: FuzzyClockPolicy(
+            self.fuzz_resolution_ns, rng
+        )
+        # Fuzzyfox fuzzes every time source, animation/media time included
+        browser.animation_clock_policy_factory = lambda: FuzzyClockPolicy(
+            self.fuzz_resolution_ns, rng
+        )
+        browser.page_hooks.append(lambda page: self._on_page(browser, page))
+        browser.worker_hooks.append(lambda agent: self._start_pump(browser, agent.loop))
+
+    def _on_page(self, browser, page) -> None:
+        # heavily patched C++: sporadic loading errors (paper §V-B1
+        # attributes Fuzzyfox's non-time incompatibilities to exactly this)
+        page.load_failure_rate = 0.3
+        self._start_pump(browser, page.loop)
+
+    def _start_pump(self, browser, loop) -> None:
+        rng = browser.rng.stream(f"fuzzyfox-pause:{loop.name}")
+
+        def pause() -> None:
+            if loop.stopped:
+                return
+            cost = rng.randint(0, self.pause_max_cost_ns)
+            delay = rng.randint(self.pause_interval_ns // 2, self.pause_interval_ns * 2)
+            loop.post(
+                pause,
+                delay=delay,
+                cost=cost,
+                source=TaskSource.PAUSE,
+                label="fuzzyfox-pause",
+            )
+
+        loop.post(pause, delay=self.pause_interval_ns, source=TaskSource.PAUSE,
+                  label="fuzzyfox-pause")

@@ -1,0 +1,51 @@
+"""JSKernel wired into the defense registry.
+
+Thin adapter: the real implementation lives in :mod:`repro.kernel`.  The
+registry exposes three variants used by the benchmarks:
+
+* ``jskernel`` — the full system (deterministic scheduling + all CVE
+  policies), the Table I column;
+* ``jskernel-nodet`` — CVE policies only (ablation: timing attacks
+  return);
+* ``jskernel-nocve`` — deterministic scheduling only (ablation: CVEs
+  return).
+"""
+
+from __future__ import annotations
+
+from ..kernel.jskernel import JSKernel
+from ..kernel.policies import DeterministicSchedulingPolicy, all_cve_policies
+from .base import Defense
+
+
+class JSKernelDefense(Defense):
+    """The full JSKernel extension."""
+
+    name = "jskernel"
+    base_browser = None  # browser-agnostic: deployable on all three
+
+    def __init__(self, kernel: JSKernel = None):
+        self.kernel = kernel or JSKernel()
+
+    def install(self, browser) -> None:
+        """Install the kernel into every page of the browser."""
+        self.kernel.install(browser)
+        browser.jskernel = self.kernel
+
+
+class JSKernelNoDeterminism(JSKernelDefense):
+    """Ablation: CVE policies without deterministic scheduling."""
+
+    name = "jskernel-nodet"
+
+    def __init__(self):
+        super().__init__(JSKernel(policies=all_cve_policies()))
+
+
+class JSKernelNoCvePolicies(JSKernelDefense):
+    """Ablation: deterministic scheduling without CVE policies."""
+
+    name = "jskernel-nocve"
+
+    def __init__(self):
+        super().__init__(JSKernel(policies=[DeterministicSchedulingPolicy()]))

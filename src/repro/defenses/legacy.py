@@ -1,0 +1,21 @@
+"""Legacy browsers: Chrome, Firefox, Edge with no extra defense.
+
+"Legacy Three" in Table I: the commercial browsers of the paper's era,
+whose only timing defense is their shipped clock resolution (already part
+of the :class:`BrowserProfile`).
+"""
+
+from __future__ import annotations
+
+from .base import Defense
+
+
+class LegacyBrowser(Defense):
+    """No defense at all; the Table I baseline columns."""
+
+    def __init__(self, browser: str = "chrome"):
+        self.base_browser = browser
+        self.name = f"legacy-{browser}"
+
+    def install(self, browser) -> None:
+        """Nothing to install."""

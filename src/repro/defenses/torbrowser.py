@@ -1,0 +1,51 @@
+"""Tor Browser: coarse clocks plus onion-routed networking.
+
+Tor Browser's timing defense is its famous 100 ms clamp on
+``performance.now`` (exact grid edges — which is why clock-edge and every
+implicit clock still work against it), and its dominant performance cost
+is circuit latency, which puts it at the slow end of the paper's
+Figure 3 CDF.
+"""
+
+from __future__ import annotations
+
+from ..runtime.clock import QuantizedClockPolicy
+from ..runtime.simtime import ms
+from .base import Defense
+
+
+class TorBrowser(Defense):
+    """100 ms clock + high-latency network (Firefox variant)."""
+
+    name = "tor"
+    base_browser = "firefox"
+
+    def __init__(
+        self,
+        clock_resolution_ns: int = ms(100),
+        circuit_latency_ns: int = ms(220),
+        bandwidth_bytes_per_ms: int = 600,
+        js_cost_scale: float = 40.0,
+    ):
+        self.clock_resolution_ns = clock_resolution_ns
+        self.circuit_latency_ns = circuit_latency_ns
+        self.bandwidth_bytes_per_ms = bandwidth_bytes_per_ms
+        #: Security slider disables the JIT: script work slows ~40x,
+        #: which is why Loophole measured event intervals of hundreds of
+        #: milliseconds on Tor (Table II's 500/600 ms column).
+        self.js_cost_scale = js_cost_scale
+
+    def install(self, browser) -> None:
+        """Clamp clocks; slow the JS engine; onion-route the network."""
+        browser.clock_policy_factory = lambda: QuantizedClockPolicy(
+            self.clock_resolution_ns, name="tor-100ms"
+        )
+        browser.network.base_latency_ns = self.circuit_latency_ns
+        browser.network.jitter_ns = ms(60)
+        browser.network.bandwidth_bytes_per_ms = self.bandwidth_bytes_per_ms
+        browser.page_hooks.append(
+            lambda page: setattr(page.scope, "js_cost_scale", self.js_cost_scale)
+        )
+        browser.worker_hooks.append(
+            lambda agent: setattr(agent.scope, "js_cost_scale", self.js_cost_scale)
+        )

@@ -1,0 +1,77 @@
+"""Exception hierarchy shared by the simulated runtime, kernel and attacks.
+
+The hierarchy mirrors the failure classes that matter in the paper:
+
+* :class:`SimulationError` — misuse of the simulator itself (a bug in the
+  experiment code, not in the simulated browser).
+* :class:`BrowserCrash` — the simulated browser hit a memory-safety bug.
+  Concrete subclasses (:class:`UseAfterFreeError`, :class:`NullDerefError`,
+  :class:`DoubleFreeError`) model the low-level vulnerabilities that web
+  concurrency attacks trigger (paper §II-A2).
+* :class:`SecurityError` — a security policy (same-origin policy, a JSKernel
+  policy, …) stopped an operation.  Raising it is the *defense working*, not
+  a crash.
+* :class:`KernelError` — internal JSKernel invariant violation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The simulation was driven incorrectly (experiment-code bug)."""
+
+
+class DeadlockError(SimulationError):
+    """The simulator ran out of events while a completion was awaited."""
+
+
+class BrowserCrash(ReproError):
+    """The simulated browser executed a memory-safety bug.
+
+    Instances carry the CVE identifier (when known) so attack harnesses can
+    assert that the *intended* vulnerability was reached.
+    """
+
+    def __init__(self, message: str, cve: str = ""):
+        super().__init__(message)
+        self.cve = cve
+
+
+class UseAfterFreeError(BrowserCrash):
+    """A freed native object was dereferenced."""
+
+
+class DoubleFreeError(BrowserCrash):
+    """A native object was freed twice."""
+
+
+class NullDerefError(BrowserCrash):
+    """A null native pointer was dereferenced."""
+
+
+class SecurityError(ReproError):
+    """An operation was blocked by a security policy.
+
+    Mirrors the DOM ``SecurityError`` exception: same-origin violations,
+    JSKernel policy denials and sealed-kernel-object tampering all raise it.
+    """
+
+
+class CrossOriginLeak(ReproError):
+    """Raised by attack harnesses when cross-origin data was obtained.
+
+    This is *not* raised by the runtime; attacks raise (or record) it to
+    signal that an information-disclosure vulnerability was exploitable.
+    """
+
+
+class KernelError(ReproError):
+    """A JSKernel internal invariant was violated."""
+
+
+class PolicyError(KernelError):
+    """A security policy is malformed or was misapplied."""

@@ -1,0 +1,38 @@
+"""Experiment harnesses regenerating the paper's tables and figures."""
+
+from .compat import (
+    LAUNCH_BUG_REGRESSIONS,
+    api_compat_counts,
+    dom_similarity_survey,
+    week_long_user_test,
+)
+from .matrix import TableOneResult, run_table1
+from .perf import (
+    FIGURE2_DEFENSES,
+    FIGURE2_SIZES,
+    TABLE2_DEFENSES,
+    dromaeo_overhead,
+    figure2_script_parsing,
+    figure3_cdf,
+    table2_svg_loopscan,
+    table3_raptor,
+    worker_creation_overhead,
+)
+
+__all__ = [
+    "FIGURE2_DEFENSES",
+    "FIGURE2_SIZES",
+    "LAUNCH_BUG_REGRESSIONS",
+    "TABLE2_DEFENSES",
+    "TableOneResult",
+    "api_compat_counts",
+    "dom_similarity_survey",
+    "dromaeo_overhead",
+    "figure2_script_parsing",
+    "figure3_cdf",
+    "run_table1",
+    "table2_svg_loopscan",
+    "table3_raptor",
+    "week_long_user_test",
+    "worker_creation_overhead",
+]

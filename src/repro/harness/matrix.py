@@ -1,0 +1,75 @@
+"""Table I harness: run attacks × defenses and compare with the paper."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.tables import render_matrix
+from ..attacks import attack_names, create as create_attack
+from ..attacks.expected import expected_matrix
+from ..defenses import TABLE1_DEFENSES
+
+
+class TableOneResult:
+    """Outcome of a Table I run."""
+
+    def __init__(
+        self,
+        matrix: Dict[str, Dict[str, bool]],
+        details: Dict[str, Dict[str, str]],
+        defenses: Sequence[str],
+    ):
+        #: attack -> defense -> defended?
+        self.matrix = matrix
+        #: attack -> defense -> result detail string
+        self.details = details
+        self.defenses = list(defenses)
+
+    def agreement(self) -> float:
+        """Fraction of cells agreeing with the reconstructed paper matrix."""
+        expected = expected_matrix()
+        total = 0
+        agree = 0
+        for attack, row in self.matrix.items():
+            for defense, defended in row.items():
+                total += 1
+                agree += 1 if expected[attack][defense] == defended else 0
+        return agree / total if total else 1.0
+
+    def disagreements(self) -> List[str]:
+        """Cells differing from the expected matrix."""
+        expected = expected_matrix()
+        cells = []
+        for attack, row in self.matrix.items():
+            for defense, defended in row.items():
+                if expected[attack][defense] != defended:
+                    cells.append(f"{attack} vs {defense}")
+        return cells
+
+    def render(self) -> str:
+        """Text rendering comparable to the paper's Table I."""
+        return render_matrix(self.matrix, self.defenses, expected=expected_matrix())
+
+
+def run_table1(
+    attacks: Optional[Sequence[str]] = None,
+    defenses: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> TableOneResult:
+    """Evaluate every (attack, defense) cell.
+
+    The full 22×8 run takes a few seconds of wall time; tests typically
+    pass a subset.
+    """
+    attacks = list(attacks or attack_names())
+    defenses = list(defenses or TABLE1_DEFENSES)
+    matrix: Dict[str, Dict[str, bool]] = {}
+    details: Dict[str, Dict[str, str]] = {}
+    for attack_name in attacks:
+        matrix[attack_name] = {}
+        details[attack_name] = {}
+        for defense_name in defenses:
+            result = create_attack(attack_name).run(defense_name, seed=seed)
+            matrix[attack_name][defense_name] = result.defended
+            details[attack_name][defense_name] = result.detail
+    return TableOneResult(matrix, details, defenses)

@@ -1,0 +1,133 @@
+"""Performance harness: the §V-A experiments as callable functions.
+
+Each function regenerates one of the paper's performance artefacts and
+returns structured data; the ``benchmarks/`` files print them in the
+paper's shape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.stats import mean
+from ..attacks.timing.script_parsing import ScriptParsingAttack
+from ..attacks.timing.loopscan import LoopscanAttack
+from ..attacks.timing.svg_filtering import SvgFilteringAttack
+from ..runtime.rng import hash_seed
+from ..workloads.alexa import FIGURE3_CONFIGS, figure3_series
+from ..workloads.dromaeo import overhead_report
+from ..workloads.raptor import table3_rows
+from ..workloads.workerbench import worker_overhead_pct
+
+#: Figure 2's file-size sweep (bytes).
+FIGURE2_SIZES = tuple(int(mb * 1024 * 1024) for mb in (2, 4, 6, 8, 10))
+
+#: Defenses plotted in Figure 2 (the paper's legend).
+FIGURE2_DEFENSES = (
+    "legacy-chrome",
+    "legacy-firefox",
+    "legacy-edge",
+    "jskernel",
+    "chromezero",
+    "tor",
+    "fuzzyfox",
+)
+
+TABLE2_DEFENSES = (
+    "legacy-chrome",
+    "legacy-firefox",
+    "legacy-edge",
+    "fuzzyfox",
+    "tor",
+    "chromezero",
+    "jskernel",
+)
+
+
+def figure2_script_parsing(
+    sizes: Sequence[int] = FIGURE2_SIZES,
+    defenses: Sequence[str] = FIGURE2_DEFENSES,
+    seed: int = 0,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """defense -> [(size_mb, reported_time_ms)] series.
+
+    The paper's observation to reproduce: every defense except JSKernel
+    shows reported time increasing with file size; JSKernel is flat.
+    """
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for defense in defenses:
+        attack = ScriptParsingAttack()
+        points = []
+        for size in sizes:
+            reported = attack.reported_time_ms(
+                defense, size, seed=hash_seed(seed, f"fig2:{defense}:{size}")
+            )
+            points.append((size / 1024 / 1024, reported))
+        series[defense] = points
+    return series
+
+
+def table2_svg_loopscan(
+    defenses: Sequence[str] = TABLE2_DEFENSES,
+    runs: int = 5,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """defense -> measured values for the four Table II columns."""
+    svg = SvgFilteringAttack()
+    loopscan = LoopscanAttack()
+    table: Dict[str, Dict[str, float]] = {}
+    for defense in defenses:
+        def avg(attack, secret):
+            return mean(
+                [
+                    attack.run_trial(defense, secret, hash_seed(seed, f"t2:{defense}:{secret}:{i}"))
+                    for i in range(runs)
+                ]
+            )
+
+        table[defense] = {
+            "svg_low_ms": avg(svg, "low"),
+            "svg_high_ms": avg(svg, "high"),
+            "loopscan_google_ms": avg(loopscan, "google"),
+            "loopscan_youtube_ms": avg(loopscan, "youtube"),
+        }
+    return table
+
+
+def figure3_cdf(
+    site_count: int = 500,
+    visits: int = 3,
+    seed: int = 0,
+    configs: Optional[List[str]] = None,
+) -> Dict[str, List[float]]:
+    """The Alexa loading-time series per configuration."""
+    return figure3_series(site_count=site_count, visits=visits, seed=seed, configs=configs)
+
+
+def table3_raptor(runs: int = 25, seed: int = 0) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """The raptor-tp6-1 rows."""
+    return table3_rows(runs=runs, seed=seed)
+
+
+def dromaeo_overhead(seed: int = 0) -> Dict[str, object]:
+    """The Dromaeo overhead report for JSKernel on Chrome."""
+    return overhead_report(config="jskernel", baseline="legacy-chrome", seed=seed)
+
+
+def worker_creation_overhead(seed: int = 0) -> Dict[str, float]:
+    """The 16-worker creation benchmark."""
+    return worker_overhead_pct(seed=seed)
+
+
+__all__ = [
+    "FIGURE2_DEFENSES",
+    "FIGURE2_SIZES",
+    "FIGURE3_CONFIGS",
+    "TABLE2_DEFENSES",
+    "dromaeo_overhead",
+    "figure2_script_parsing",
+    "figure3_cdf",
+    "table2_svg_loopscan",
+    "table3_raptor",
+    "worker_creation_overhead",
+]

@@ -1,0 +1,49 @@
+"""JSKernel: the paper's kernel-like structure for JavaScript.
+
+Public surface: the :class:`JSKernel` facade plus the kernel building
+blocks (event queue, clock, scheduler, dispatcher, policies) for tests,
+ablations and custom policies.
+"""
+
+from .comm import classify, wrap_kernel, wrap_user
+from .dispatcher import Dispatcher
+from .jskernel import JSKernel, JSKernelInstance
+from .kclock import KernelClock, KernelDate, KernelPerformance
+from .kobjects import (
+    CANCELLED,
+    DISPATCHED,
+    PENDING,
+    READY,
+    KernelEvent,
+    KernelEventQueue,
+)
+from .policy import CompositePolicy, Policy, SchedulingGrid
+from .scheduler import Scheduler
+from .space import KernelSpace
+from .threadmgr import KernelThread, KernelWorkerStub, ThreadManager
+
+__all__ = [
+    "CANCELLED",
+    "CompositePolicy",
+    "DISPATCHED",
+    "Dispatcher",
+    "JSKernel",
+    "JSKernelInstance",
+    "KernelClock",
+    "KernelDate",
+    "KernelEvent",
+    "KernelEventQueue",
+    "KernelPerformance",
+    "KernelSpace",
+    "KernelThread",
+    "KernelWorkerStub",
+    "PENDING",
+    "Policy",
+    "READY",
+    "Scheduler",
+    "SchedulingGrid",
+    "ThreadManager",
+    "classify",
+    "wrap_kernel",
+    "wrap_user",
+]

@@ -1,0 +1,51 @@
+"""Kernel/user message overlay (paper §III-E2).
+
+"Because there only exists one channel, i.e., the postMessage and
+onmessage one, between two threads, we create an overlay upon the
+channel."  Every message the kernel forwards is wrapped in an envelope
+with a type field; kernel-space traffic (clock exchange, thread source,
+policy handshakes like ``pendingChildFetch``) is handled by kernel code,
+user-space traffic by the scheduler of the receiving thread.
+
+User payloads that *look like* envelopes are escaped before wrapping so a
+malicious page cannot spoof kernel commands.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+ENVELOPE_KEY = "__jskernel__"
+TYPE_USER = "user"
+TYPE_KERNEL = "kernel"
+TYPE_ESCAPED = "escaped-user"
+
+
+def wrap_user(payload: Any) -> Dict[str, Any]:
+    """Wrap a user payload for transport."""
+    if isinstance(payload, dict) and ENVELOPE_KEY in payload:
+        # spoofing attempt (or unlucky collision): escape one level
+        return {ENVELOPE_KEY: TYPE_ESCAPED, "payload": payload}
+    return {ENVELOPE_KEY: TYPE_USER, "payload": payload}
+
+
+def wrap_kernel(command: str, data: Any = None) -> Dict[str, Any]:
+    """Wrap a kernel-space command."""
+    return {ENVELOPE_KEY: TYPE_KERNEL, "command": command, "data": data}
+
+
+def classify(message: Any) -> Tuple[str, Any, Optional[str]]:
+    """Classify an incoming message.
+
+    Returns ``(kind, payload, command)`` where kind is ``"user"``,
+    ``"kernel"`` or ``"raw"`` (a message that did not come from a kernel
+    endpoint — e.g. posted before the kernel was installed).
+    """
+    if not isinstance(message, dict) or ENVELOPE_KEY not in message:
+        return "raw", message, None
+    envelope_type = message[ENVELOPE_KEY]
+    if envelope_type == TYPE_KERNEL:
+        return "kernel", message.get("data"), message.get("command")
+    if envelope_type == TYPE_ESCAPED:
+        return "user", message.get("payload"), None
+    return "user", message.get("payload"), None

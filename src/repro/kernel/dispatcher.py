@@ -1,0 +1,121 @@
+"""The kernel dispatcher (paper §III-D3).
+
+"The dispatcher is essentially an event loop that keeps fetching events
+from the event queue following their predicted time."
+
+The dispatcher examines the head of the kernel queue:
+
+* READY → invoke its callback (as one native macrotask), after *pacing*:
+  an event is never dispatched before its predicted time on the real
+  timeline, so events confirmed early (messages flooding in faster than
+  their deterministic slots) are held back;
+* PENDING → wait; the order is frozen by predicted times, so nothing
+  behind the head may run first.  Confirmation will kick the dispatcher;
+* CANCELLED → discard and continue.
+
+Invoking an event ticks the kernel clock to the event's predicted time,
+which is how the user-visible time axis stays deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.task import TaskSource
+from .kobjects import CANCELLED, DISPATCHED, PENDING, KernelEvent
+
+#: Native cost charged per dispatched kernel event (queue + context prep).
+DISPATCH_COST = 1_500
+
+
+class Dispatcher:
+    """Per-kernel-thread dispatch loop."""
+
+    def __init__(self, kspace):
+        self.kspace = kspace
+        self.loop = kspace.loop
+        # real<->kernel anchors for pacing
+        self._anchor_real = self.loop.sim.now
+        self._anchor_kernel = kspace.clock.now
+        self._armed_for: Optional[int] = None
+        self._dispatch_scheduled = False
+        self.dispatched_count = 0
+
+    # ------------------------------------------------------------------
+    def kick(self) -> None:
+        """Re-examine the queue head (called on confirm/cancel/register)."""
+        if self._dispatch_scheduled:
+            return
+        head = self._next_actionable()
+        if head is None:
+            return
+        allowed_real = self._allowed_real(head)
+        now = self.loop.sim.now
+        delay = max(allowed_real - now, 0)
+        self._dispatch_scheduled = True
+        self.loop.post(
+            self._dispatch_head,
+            delay=delay,
+            source=TaskSource.KERNEL,
+            label=f"kdispatch:{head.kind}",
+        )
+
+    def _next_actionable(self) -> Optional[KernelEvent]:
+        queue = self.kspace.queue
+        if not self.kspace.policy.enforces_order:
+            # pass-through: confirmed events dispatch regardless of
+            # pending earlier-slotted ones
+            return queue.top_ready()
+        while True:
+            head = queue.top()
+            if head is None:
+                return None
+            if head.status == CANCELLED:
+                queue.pop()
+                continue
+            if head.status == PENDING:
+                return None  # frozen order: wait for confirmation
+            return head
+
+    def _allowed_real(self, event: KernelEvent) -> int:
+        if not self.kspace.policy.enforces_order:
+            return 0  # pass-through: no pacing
+        return self._anchor_real + (event.predicted_time - self._anchor_kernel)
+
+    # ------------------------------------------------------------------
+    def _dispatch_head(self) -> None:
+        self._dispatch_scheduled = False
+        head = self._next_actionable()
+        if head is None:
+            return
+        now = self.loop.sim.now
+        allowed_real = self._allowed_real(head)
+        if now < allowed_real:
+            self.kick()
+            return
+        if now > allowed_real and self.kspace.policy.enforces_order:
+            # we are late (a confirmation straggled): slip the anchor so
+            # relative pacing is preserved from here on
+            self._anchor_real = now - (head.predicted_time - self._anchor_kernel)
+        # in pass-through mode the dispatched event may not be the heap
+        # head; marking it DISPATCHED lets the queue prune it lazily
+        self.kspace.queue.remove_by_id(head.id)
+        self._invoke(head)
+        self.kick()
+
+    def _invoke(self, event: KernelEvent) -> None:
+        sim = self.loop.sim
+        sim.consume(DISPATCH_COST)
+        self.kspace.clock.tick_to(event.predicted_time)
+        event.status = DISPATCHED
+        self.dispatched_count += 1
+        if event.on_dispatch is not None:
+            event.on_dispatch(event)
+            return
+        callback = event.chosen_callback
+        if callback is None:
+            return
+        if event.this is not None:
+            callback(event.this, *event.args)
+        else:
+            callback(*event.args)

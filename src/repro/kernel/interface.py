@@ -1,0 +1,494 @@
+"""The kernel interface: API redefinition, traps and stubs (paper §III-B).
+
+Each ``install_*`` method captures the native API reference into
+``kspace.natives`` (the kernel's "customized pointer") and rebinds the
+scope attribute to a kernel wrapper implementing two-stage scheduling:
+
+    user call → **registration** (pending kernel event, predicted time,
+    native API invoked with a kernel confirmation callback)
+    → browser fires → **confirmation** (args/this/callback bound)
+    → **dispatch** (kernel dispatcher invokes the user callback on the
+    deterministic predicted-time axis).
+
+Everything the page can observe time through — timers, rAF, fetch,
+element onload/onerror, window messaging, CSS animation sampling, video
+clocks, SharedArrayBuffer counters — is wrapped here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..runtime.messaging import MessageEvent
+from ..runtime.promises import SimPromise
+from ..runtime.simtime import ms, to_ms
+from . import comm
+from .kclock import KernelDate, KernelPerformance
+from .kobjects import PENDING
+from .space import KernelSpace
+
+
+class KernelInterface:
+    """Installs kernel wrappers onto one scope."""
+
+    def __init__(self, kspace: KernelSpace):
+        self.kspace = kspace
+        self._timer_ids = 0
+        self._timers: Dict[int, Dict[str, Any]] = {}
+        self._raf_ids = 0
+        self._rafs: Dict[int, Any] = {}
+        self._element_events: Dict[int, Any] = {}
+        self._animations: Dict[tuple, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # clocks
+    # ------------------------------------------------------------------
+    def install_clocks(self, scope) -> None:
+        """Replace ``performance`` and ``Date`` with kernel clocks."""
+        kspace = self.kspace
+        kspace.natives["performance"] = scope.performance
+        kspace.natives["Date"] = scope.Date
+        scope.set_raw("performance", KernelPerformance(kspace.clock, kspace.loop.sim))
+        scope.set_raw("Date", KernelDate(kspace.clock, kspace.loop.sim))
+        scope.seal_attribute("performance")
+        scope.seal_attribute("Date")
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+    def install_timers(self, scope) -> None:
+        """Wrap setTimeout/setInterval/clearTimeout/clearInterval."""
+        kspace = self.kspace
+        natives = kspace.natives
+        natives["setTimeout"] = scope.setTimeout
+        natives["clearTimeout"] = scope.clearTimeout
+        natives["setInterval"] = scope.setInterval
+        natives["clearInterval"] = scope.clearInterval
+
+        def k_set_timeout(callback: Callable, delay_ms: float = 0, *args) -> int:
+            kspace.api_call("setTimeout", {"delay_ms": delay_ms})
+            event = kspace.scheduler.register(
+                "timeout", {"default": callback}, hint=ms(max(delay_ms, 0)),
+                label="setTimeout",
+            )
+            native_id = natives["setTimeout"](
+                lambda: kspace.scheduler.confirm(event, args=args), delay_ms
+            )
+            self._timer_ids += 1
+            kid = self._timer_ids
+            self._timers[kid] = {"event": event, "native_id": native_id, "interval": False}
+            return kid
+
+        def k_set_interval(callback: Callable, delay_ms: float = 0, *args) -> int:
+            kspace.api_call("setInterval", {"delay_ms": delay_ms})
+            self._timer_ids += 1
+            kid = self._timer_ids
+            state = {"event": None, "native_id": None, "interval": True, "cleared": False}
+            self._timers[kid] = state
+
+            def register_next() -> None:
+                if state["cleared"]:
+                    return
+                state["event"] = kspace.scheduler.register(
+                    "interval",
+                    {"default": run_once},
+                    hint=ms(max(delay_ms, 0)),
+                    label="setInterval",
+                )
+
+            def run_once(*call_args) -> None:
+                callback(*call_args)
+                register_next()
+
+            def on_native_fire() -> None:
+                event = state["event"]
+                if event is not None and event.status == PENDING:
+                    kspace.scheduler.confirm(event, args=args)
+                # a fire racing ahead of the paced dispatcher is coalesced,
+                # like browsers coalesce interval callbacks
+
+            register_next()
+            state["native_id"] = natives["setInterval"](on_native_fire, delay_ms)
+            return kid
+
+        def k_clear_timeout(kid: int) -> None:
+            kspace.api_call("clearTimeout", {})
+            state = self._timers.pop(kid, None)
+            if state is None:
+                return
+            state["cleared"] = True
+            if state.get("event") is not None:
+                kspace.scheduler.cancel(state["event"])
+            if state.get("native_id") is not None:
+                if state["interval"]:
+                    natives["clearInterval"](state["native_id"])
+                else:
+                    natives["clearTimeout"](state["native_id"])
+
+        scope.setTimeout = k_set_timeout
+        scope.setInterval = k_set_interval
+        scope.clearTimeout = k_clear_timeout
+        scope.clearInterval = k_clear_timeout
+
+    # ------------------------------------------------------------------
+    # requestAnimationFrame
+    # ------------------------------------------------------------------
+    def install_raf(self, scope) -> None:
+        """Wrap rAF: user callbacks see kernel predicted timestamps."""
+        kspace = self.kspace
+        natives = kspace.natives
+        natives["requestAnimationFrame"] = scope.requestAnimationFrame
+        natives["cancelAnimationFrame"] = scope.cancelAnimationFrame
+
+        def k_raf(callback: Callable[[float], None]) -> int:
+            kspace.api_call("requestAnimationFrame", {})
+            event = kspace.scheduler.register("raf", label="rAF")
+            timestamp_ms = to_ms(event.predicted_time)
+            event.callbacks = {"default": callback}
+
+            def on_native_frame(_native_timestamp: float) -> None:
+                if event.status == PENDING:
+                    kspace.scheduler.confirm(event, args=(timestamp_ms,))
+
+            native_id = natives["requestAnimationFrame"](on_native_frame)
+            self._raf_ids += 1
+            kid = self._raf_ids
+            self._rafs[kid] = {"event": event, "native_id": native_id}
+            return kid
+
+        def k_cancel_raf(kid: int) -> None:
+            kspace.api_call("cancelAnimationFrame", {})
+            state = self._rafs.pop(kid, None)
+            if state is None:
+                return
+            kspace.scheduler.cancel(state["event"])
+            natives["cancelAnimationFrame"](state["native_id"])
+
+        scope.requestAnimationFrame = k_raf
+        scope.cancelAnimationFrame = k_cancel_raf
+
+    # ------------------------------------------------------------------
+    # fetch
+    # ------------------------------------------------------------------
+    def install_fetch(self, scope, on_register=None, on_settle=None) -> None:
+        """Wrap fetch: completion is delivered on the kernel time axis.
+
+        ``on_register``/``on_settle`` are thread-manager hooks used by the
+        CVE-2018-5092 policy handshake (pendingChildFetch/confirmFetch).
+        """
+        kspace = self.kspace
+        natives = kspace.natives
+        natives["fetch"] = scope.fetch
+
+        def k_fetch(url: str, options: Optional[dict] = None) -> SimPromise:
+            kspace.api_call("fetch", {"url": url})
+            user_promise = SimPromise(kspace.loop, label=f"kfetch:{url}")
+            event = kspace.scheduler.register(
+                "network",
+                {
+                    "onload": user_promise.resolve,
+                    "onerror": user_promise.reject,
+                },
+                label=f"fetch:{url}",
+            )
+            event.stub = user_promise
+            if on_register is not None:
+                on_register(event)
+
+            def settled(which: str, value: Any) -> None:
+                if event.status == PENDING:
+                    kspace.scheduler.confirm(event, args=(value,), which=which)
+                if on_settle is not None:
+                    on_settle(event)
+
+            native_promise = natives["fetch"](url, options)
+            native_promise.then(
+                lambda response: settled("onload", response),
+                lambda error: settled("onerror", error),
+            )
+            return user_promise
+
+        scope.fetch = k_fetch
+
+    # ------------------------------------------------------------------
+    # DOM subresource events (script parsing / image decoding channel)
+    # ------------------------------------------------------------------
+    def install_dom_loading(self, page) -> None:
+        """Two-stage scheduling for element onload/onerror."""
+        kspace = self.kspace
+
+        def on_load_start(element) -> None:
+            event = kspace.scheduler.register(
+                "dom",
+                {
+                    "onload": lambda: element.onload() if element.onload else None,
+                    "onerror": lambda: element.onerror() if element.onerror else None,
+                },
+                label=f"load:{element.tag}",
+            )
+            self._element_events[element.node_id] = event
+
+        def route(element, name: str, _handler) -> None:
+            event = self._element_events.pop(element.node_id, None)
+            if event is None:
+                # load started before the kernel was installed; fall back
+                # to a register+confirm at delivery
+                kspace.scheduler.register_confirmed(
+                    "dom", _handler or (lambda: None), label=f"late:{name}"
+                )
+                return
+            kspace.scheduler.confirm(event, which=name)
+
+        page.load_start_hook = on_load_start
+        page.element_event_router = route
+
+    # ------------------------------------------------------------------
+    # window self-messaging (loopscan channel)
+    # ------------------------------------------------------------------
+    def install_window_messaging(self, scope) -> None:
+        """Wrap window.postMessage/onmessage through the kernel queue."""
+        kspace = self.kspace
+        natives = kspace.natives
+        natives["postMessage"] = scope.postMessage
+        kspace.state["window_onmessage"] = None
+
+        def kernel_receiver(event: MessageEvent) -> None:
+            kind, payload, _command = comm.classify(event.data)
+            if kind == "kernel":
+                return  # no kernel commands on the window self-channel
+            delivered = MessageEvent(
+                payload,
+                origin=event.origin,
+                timestamp=event.timestamp,
+                transferred=event.transferred,
+            )
+
+            def deliver(msg: MessageEvent) -> None:
+                handler = kspace.state.get("window_onmessage")
+                if handler is not None:
+                    handler(msg)
+
+            kspace.scheduler.register_confirmed(
+                "message", deliver, args=(delivered,), label="window-msg",
+                chain="msg:window",
+            )
+
+        def trap(handler) -> None:
+            kspace.state["window_onmessage"] = handler
+
+        scope.set_raw("onmessage", kernel_receiver)
+        scope.define_setter_trap("onmessage", trap)
+        scope.seal_attribute("onmessage")
+
+        def k_post_message(data: Any) -> None:
+            kspace.api_call("postMessage", {})
+            natives["postMessage"](comm.wrap_user(data))
+
+        scope.postMessage = k_post_message
+
+    # ------------------------------------------------------------------
+    # CSS animation sampling (getComputedStyle clock)
+    # ------------------------------------------------------------------
+    def install_animations(self, scope) -> None:
+        """Wrap animate/getComputedStyle: progress follows the kernel clock."""
+        kspace = self.kspace
+        natives = kspace.natives
+        natives["animate"] = scope.animate
+        natives["getComputedStyle"] = scope.getComputedStyle
+
+        def k_animate(element, prop="left", from_value=0.0, to_value=1000.0, duration_ms=10_000.0):
+            kspace.api_call("animate", {})
+            native_animation = natives["animate"](element, prop, from_value, to_value, duration_ms)
+            self._animations[(element.node_id, prop)] = {
+                "start_kernel_ns": kspace.clock.now,
+                "from": from_value,
+                "to": to_value,
+                "duration_ms": duration_ms,
+                "native": native_animation,
+            }
+            return native_animation
+
+        def k_get_computed_style(element, prop: str) -> float:
+            kspace.api_call("getComputedStyle", {})
+            # the kernel consults its animation table and rebuilds the
+            # style value from kernel time: the per-call cost behind the
+            # paper's worst Dromaeo case (DOM attributes, ~21%)
+            kspace.loop.sim.consume(250)
+            record = self._animations.get((element.node_id, prop))
+            if record is None:
+                return natives["getComputedStyle"](element, prop)
+            elapsed_ms = to_ms(kspace.clock.now - record["start_kernel_ns"])
+            if record["duration_ms"] <= 0:
+                fraction = 1.0
+            else:
+                fraction = max(0.0, min(1.0, elapsed_ms / record["duration_ms"]))
+            return record["from"] + (record["to"] - record["from"]) * fraction
+
+        scope.animate = k_animate
+        scope.getComputedStyle = k_get_computed_style
+
+    # ------------------------------------------------------------------
+    # media clocks (video.currentTime / WebVTT cues)
+    # ------------------------------------------------------------------
+    def install_media(self, scope) -> None:
+        """Wrap createVideo with a kernel-clocked video object."""
+        kspace = self.kspace
+        natives = kspace.natives
+        natives["createVideo"] = scope.createVideo
+        interface = self
+
+        def k_create_video(duration_ms: float = 60_000.0):
+            kspace.api_call("createVideo", {})
+            return KernelVideo(interface, duration_ms)
+
+        scope.createVideo = k_create_video
+
+    # ------------------------------------------------------------------
+    # SharedArrayBuffer counters
+    # ------------------------------------------------------------------
+    def install_shared_buffers(self, scope) -> None:
+        """Wrap SharedArrayBuffer: reads are paced onto kernel slots."""
+        kspace = self.kspace
+        natives = kspace.natives
+        natives["SharedArrayBuffer"] = scope.SharedArrayBuffer
+        interface = self
+
+        def k_shared_buffer(size: int = 8):
+            kspace.api_call("SharedArrayBuffer", {})
+            native = natives["SharedArrayBuffer"](size)
+            return KernelSharedBuffer(interface, native)
+
+        scope.SharedArrayBuffer = k_shared_buffer
+
+    # ------------------------------------------------------------------
+    # storage gating (CVE-2017-7843 policy)
+    # ------------------------------------------------------------------
+    def install_storage(self, scope, page) -> None:
+        """Wrap indexedDB behind the policy's storage gate."""
+        kspace = self.kspace
+        kspace.natives["indexedDB"] = scope.indexedDB
+        scope.indexedDB = KernelIndexedDB(kspace, kspace.natives["indexedDB"], page)
+
+
+class KernelVideo:
+    """User-facing video stub whose clock is the kernel clock."""
+
+    def __init__(self, interface: KernelInterface, duration_ms: float):
+        self._kspace = interface.kspace
+        self.duration_ms = duration_ms
+        self.playing = False
+        self._start_kernel_ns: Optional[int] = None
+        self._paused_at_ms = 0.0
+        self.cues = []
+
+    def play(self) -> None:
+        """Start playback on the kernel time axis."""
+        self._kspace.api_call("video.play", {})
+        if self.playing:
+            return
+        self.playing = True
+        self._start_kernel_ns = self._kspace.clock.now - int(self._paused_at_ms * 1e6)
+
+    def pause(self) -> None:
+        """Freeze currentTime."""
+        self._kspace.api_call("video.pause", {})
+        if not self.playing:
+            return
+        self._paused_at_ms = self.current_time * 1000.0
+        self.playing = False
+
+    @property
+    def current_time(self) -> float:
+        """``video.currentTime`` in kernel seconds."""
+        self._kspace.api_call("video.currentTime", {})
+        if not self.playing or self._start_kernel_ns is None:
+            return self._paused_at_ms / 1000.0
+        elapsed_ms = to_ms(self._kspace.clock.now - self._start_kernel_ns)
+        return min(elapsed_ms, self.duration_ms) / 1000.0
+
+    def add_cue(self, cue) -> None:
+        """Cue enter events become kernel timeout events."""
+        self._kspace.api_call("video.addCue", {})
+        self.cues.append(cue)
+        if cue.on_enter is None:
+            return
+        self._kspace.scheduler.register_confirmed(
+            "media",
+            lambda: cue.on_enter(cue) if cue.on_enter else None,
+            hint=ms(cue.start_ms),
+            label=f"cue@{cue.start_ms}",
+        )
+
+
+class KernelSharedBuffer:
+    """SharedArrayBuffer stub: every access crosses into the kernel.
+
+    The paper routes SAB accesses through the kernel event queue; we model
+    that by *pacing* each read to the kernel's message-slot grid, which
+    degrades the counter from a nanosecond timer to grid resolution.
+    """
+
+    def __init__(self, interface: KernelInterface, native):
+        self._kspace = interface.kspace
+        self._native = native
+
+    def _pace(self) -> None:
+        sim = self._kspace.loop.sim
+        grid = self._kspace.grid.grid_for("message")
+        now = sim.now
+        boundary = ((now // grid) + 1) * grid
+        sim.consume(boundary - now)
+
+    def load(self) -> int:
+        """Atomics.load via the kernel (slot-paced)."""
+        self._kspace.api_call("sab.load", {})
+        self._pace()
+        return self._native.load()
+
+    def store(self, value: int) -> None:
+        """Atomics.store via the kernel (slot-paced)."""
+        self._kspace.api_call("sab.store", {})
+        self._pace()
+        self._native.store(value)
+
+    def start_increment_activity(self, rate_per_ms: float) -> None:
+        """Writer-side tight loop (workers use the native fast path)."""
+        self._kspace.api_call("sab.increment", {})
+        self._native.start_increment_activity(rate_per_ms)
+
+    def stop_increment_activity(self) -> None:
+        """Stop the writer loop."""
+        self._native.stop_increment_activity()
+
+
+class KernelIndexedDB:
+    """indexedDB stub consulting the policy's storage gate."""
+
+    def __init__(self, kspace: KernelSpace, native, page):
+        self._kspace = kspace
+        self._native = native
+        self._page = page
+
+    def _check(self) -> None:
+        from ..errors import SecurityError
+
+        if not self._kspace.policy.allow_storage_access(self._page):
+            raise SecurityError(
+                "indexedDB access denied by kernel policy (private browsing)"
+            )
+
+    def put(self, key: str, value) -> None:
+        """Policy-gated ``objectStore.put``."""
+        self._kspace.api_call(
+            "indexedDB.put", {"private_mode": getattr(self._page, "private_mode", False)}
+        )
+        self._check()
+        self._native.put(key, value)
+
+    def get(self, key: str):
+        """Policy-gated ``objectStore.get``."""
+        self._kspace.api_call(
+            "indexedDB.get", {"private_mode": getattr(self._page, "private_mode", False)}
+        )
+        self._check()
+        return self._native.get(key)

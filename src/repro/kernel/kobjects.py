@@ -1,0 +1,178 @@
+"""Kernel objects: events and the kernel event queue (paper §III-C1).
+
+A :class:`KernelEvent` is the kernel's record of one asynchronous
+occurrence (a timer firing, a message arriving, a frame callback, a fetch
+completing).  Its lifecycle follows the paper's two-stage scheduling:
+
+    registered (PENDING, predicted time assigned)
+        → confirmed (READY, args/this/callback bound)
+        → dispatched (DISPATCHED)
+    with CANCELLED reachable from PENDING/READY.
+
+The :class:`KernelEventQueue` orders events by predicted time and supports
+the paper's queue API: ``push``, ``pop``, ``top``, ``remove``, ``lookup``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import KernelError
+
+# lifecycle states
+PENDING = "pending"
+READY = "ready"
+CANCELLED = "cancelled"
+DISPATCHED = "dispatched"
+
+_event_ids = itertools.count(1)
+
+
+class KernelEvent:
+    """One event in the kernel queue."""
+
+    __slots__ = (
+        "id",
+        "kind",
+        "predicted_time",
+        "status",
+        "callbacks",
+        "chosen_callback",
+        "args",
+        "this",
+        "label",
+        "stub",
+        "on_dispatch",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        predicted_time: int,
+        callbacks: Optional[Dict[str, Callable]] = None,
+        label: str = "",
+    ):
+        self.id = next(_event_ids)
+        self.kind = kind
+        self.predicted_time = predicted_time
+        self.status = PENDING
+        #: All possible callbacks (e.g. {"onload": f, "onerror": g}); the
+        #: confirmation stage picks one and deletes the others (§III-D1).
+        self.callbacks: Dict[str, Callable] = dict(callbacks or {})
+        self.chosen_callback: Optional[Callable] = None
+        self.args: Tuple[Any, ...] = ()
+        self.this: Any = None
+        self.label = label or kind
+        #: User-space stub value returned at registration (e.g. a promise).
+        self.stub: Any = None
+        #: Optional dispatcher hook run instead of the callback.
+        self.on_dispatch: Optional[Callable[["KernelEvent"], None]] = None
+
+    # ------------------------------------------------------------------
+    def confirm(
+        self,
+        args: Tuple[Any, ...] = (),
+        this: Any = None,
+        which: Optional[str] = None,
+    ) -> None:
+        """Confirmation stage: bind args/this, select the callback."""
+        if self.status == CANCELLED:
+            return
+        if self.status != PENDING:
+            raise KernelError(f"confirm on {self.status} event #{self.id}")
+        self.args = args
+        self.this = this
+        if which is not None:
+            if which not in self.callbacks:
+                raise KernelError(f"event #{self.id} has no callback {which!r}")
+            self.chosen_callback = self.callbacks[which]
+            self.callbacks = {which: self.chosen_callback}
+        elif self.callbacks:
+            name, callback = next(iter(self.callbacks.items()))
+            self.chosen_callback = callback
+            self.callbacks = {name: callback}
+        self.status = READY
+
+    def cancel(self) -> None:
+        """Mark the event cancelled (dispatcher will discard it)."""
+        if self.status in (PENDING, READY):
+            self.status = CANCELLED
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<KernelEvent #{self.id} {self.kind} @{self.predicted_time} "
+            f"{self.status}>"
+        )
+
+
+class KernelEventQueue:
+    """Priority queue of kernel events ordered by predicted time."""
+
+    def __init__(self):
+        self._heap: List[Tuple[int, int, KernelEvent]] = []
+        self._by_id: Dict[int, KernelEvent] = {}
+
+    def push(self, event: KernelEvent) -> KernelEvent:
+        """Insert an event at its predicted time."""
+        heapq.heappush(self._heap, (event.predicted_time, event.id, event))
+        self._by_id[event.id] = event
+        return event
+
+    def top(self) -> Optional[KernelEvent]:
+        """Earliest non-dispatched event, kept in the queue."""
+        self._prune()
+        if not self._heap:
+            return None
+        return self._heap[0][2]
+
+    def pop(self) -> Optional[KernelEvent]:
+        """Earliest event, removed from the queue."""
+        self._prune()
+        if not self._heap:
+            return None
+        _t, _i, event = heapq.heappop(self._heap)
+        self._by_id.pop(event.id, None)
+        return event
+
+    def remove(self, event: KernelEvent) -> None:
+        """Remove an event regardless of predicted time (lazy)."""
+        event.status = DISPATCHED if event.status == DISPATCHED else CANCELLED
+        self._by_id.pop(event.id, None)
+
+    def lookup(self, event_id: int) -> Optional[KernelEvent]:
+        """Find an event by id."""
+        return self._by_id.get(event_id)
+
+    def top_ready(self) -> Optional[KernelEvent]:
+        """Earliest READY event, skipping pending heads.
+
+        Used by pass-through (non-order-enforcing) dispatch, where an
+        unconfirmed event must not hold back confirmed ones.
+        """
+        self._prune()
+        best: Optional[KernelEvent] = None
+        for _t, _i, event in self._heap:
+            if event.status == READY and (
+                best is None or event.predicted_time < best.predicted_time
+            ):
+                best = event
+        return best
+
+    def remove_by_id(self, event_id: int) -> None:
+        """Drop an event from the id index (heap entry pruned lazily)."""
+        self._by_id.pop(event_id, None)
+
+    def _prune(self) -> None:
+        while self._heap and self._heap[0][2].status in (CANCELLED, DISPATCHED):
+            _t, _i, event = heapq.heappop(self._heap)
+            self._by_id.pop(event.id, None)
+
+    def __len__(self) -> int:
+        return sum(1 for _t, _i, e in self._heap if e.status != CANCELLED)
+
+    @property
+    def pending_count(self) -> int:
+        """Events awaiting confirmation."""
+        return sum(1 for _t, _i, e in self._heap if e.status == PENDING)

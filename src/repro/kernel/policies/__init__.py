@@ -1,0 +1,35 @@
+"""Built-in JSKernel security policies."""
+
+from .autogen import (
+    ApiCallRecorder,
+    ExtractionResult,
+    SynthesizedPolicy,
+    extract_policy_for,
+    synthesize_from_trace,
+)
+from .cves import (
+    ErrorSanitizerPolicy,
+    PrivateModeStoragePolicy,
+    TransferNeuterPolicy,
+    WorkerLifecyclePolicy,
+    WorkerXhrOriginPolicy,
+    all_cve_policies,
+)
+from .deterministic import DeterministicSchedulingPolicy
+from .fuzzy import FuzzySchedulingPolicy
+
+__all__ = [
+    "ApiCallRecorder",
+    "DeterministicSchedulingPolicy",
+    "ExtractionResult",
+    "SynthesizedPolicy",
+    "extract_policy_for",
+    "synthesize_from_trace",
+    "ErrorSanitizerPolicy",
+    "FuzzySchedulingPolicy",
+    "PrivateModeStoragePolicy",
+    "TransferNeuterPolicy",
+    "WorkerLifecyclePolicy",
+    "WorkerXhrOriginPolicy",
+    "all_cve_policies",
+]

@@ -1,0 +1,142 @@
+"""Manually-specified per-CVE policies (paper §II-B2, §IV-B).
+
+Each policy encodes the expert-extracted triggering condition of one (or
+one family of) web concurrency CVE and blocks it at the kernel boundary.
+They are deliberately small: the point of the paper is that once the
+kernel structure exists, a CVE policy is a handful of lines.
+
+Policy ↔ CVE map
+----------------
+
+* :class:`WorkerLifecyclePolicy` — CVE-2018-5092, CVE-2014-1488,
+  CVE-2014-3194, CVE-2013-6646, CVE-2013-5602 (and the paper's Listing 4):
+  user-requested terminations close the thread *at the user level only*;
+  the kernel worker stays alive, so the buggy native teardown paths
+  (freeing in-flight fetches with dangling abort registrations, freeing
+  transferred buffers the parent owns, nulling ports that are still
+  reachable) never execute.
+* :class:`TransferNeuterPolicy` — CVE-2014-1719: the kernel performs its
+  own neutering of transferred buffers, so even a browser whose
+  structured-clone forgets to detach leaves the parent with a safely
+  detached reference instead of a dangling pointer.
+* :class:`WorkerXhrOriginPolicy` — CVE-2013-1714: "JSKernel enforces a
+  policy to check the origins for all the requests coming from a web
+  worker."
+* :class:`ErrorSanitizerPolicy` — CVE-2014-1487, CVE-2015-7215,
+  CVE-2011-1190, CVE-2010-4576: worker error messages are replaced by a
+  new message without the cross-origin information.
+* :class:`PrivateModeStoragePolicy` — CVE-2017-7843: "avoid access to
+  indexedDB during private browsing mode to obey the mode's
+  specification."
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...errors import SecurityError
+from ...runtime.origin import parse_url, same_origin
+from ...runtime.sharedbuf import SimArrayBuffer
+from ..policy import Policy
+
+SANITIZED_ERROR = "Script error."
+
+
+class WorkerLifecyclePolicy(Policy):
+    """Keep kernel workers alive across user-level terminations."""
+
+    name = "worker-lifecycle"
+    kind = "specific"
+    cves = (
+        "CVE-2018-5092",
+        "CVE-2014-1488",
+        "CVE-2014-3194",
+        "CVE-2013-6646",
+        "CVE-2013-5602",
+    )
+
+    def __init__(self, allow_deferred_teardown: bool = False):
+        #: When True, the thread manager may natively terminate once the
+        #: thread is quiescent (no pending fetches, no live transferables).
+        self.allow_deferred_teardown = allow_deferred_teardown
+
+    def on_worker_terminate_request(self, kworker) -> bool:
+        """Claim every termination: user-level close only."""
+        return True
+
+
+class TransferNeuterPolicy(Policy):
+    """Kernel-side neutering of transferred ArrayBuffers."""
+
+    name = "transfer-neuter"
+    kind = "specific"
+    cves = ("CVE-2014-1719",)
+
+    def on_worker_message(self, kworker, direction: str, data: Any) -> None:
+        """After a main->worker transfer, detach the sender's references."""
+        if direction != "to_worker_transfer" or not data:
+            return
+        for item in data:
+            if isinstance(item, SimArrayBuffer) and not item.detached:
+                item.detach()
+
+
+class WorkerXhrOriginPolicy(Policy):
+    """Same-origin check for all worker-initiated requests."""
+
+    name = "worker-xhr-origin"
+    kind = "specific"
+    cves = ("CVE-2013-1714",)
+
+    def on_api_call(self, api: str, kspace, info) -> None:
+        """Veto cross-origin worker XHR before the (buggy) native send."""
+        if api != "worker.xhr.send":
+            return
+        url = info.get("url")
+        origin = info.get("origin")
+        base_url = info.get("base_url")
+        if url is None or origin is None:
+            return
+        target = parse_url(url, base=base_url)
+        if not same_origin(target.origin, origin):
+            raise SecurityError(
+                f"kernel policy: worker XHR to cross-origin "
+                f"{target.origin.serialize()} denied"
+            )
+
+
+class ErrorSanitizerPolicy(Policy):
+    """Strip cross-origin information from worker error messages."""
+
+    name = "error-sanitizer"
+    kind = "specific"
+    cves = ("CVE-2014-1487", "CVE-2015-7215", "CVE-2011-1190", "CVE-2010-4576")
+
+    def on_error_event(self, kworker, message: str, cross_origin: bool) -> str:
+        """Throw a new message without the cross-origin information."""
+        if cross_origin:
+            return SANITIZED_ERROR
+        return message
+
+
+class PrivateModeStoragePolicy(Policy):
+    """Deny indexedDB in private browsing."""
+
+    name = "private-mode-storage"
+    kind = "specific"
+    cves = ("CVE-2017-7843",)
+
+    def allow_storage_access(self, page) -> bool:
+        """Private-mode pages get no indexedDB at all."""
+        return not getattr(page, "private_mode", False)
+
+
+def all_cve_policies() -> list:
+    """The full specific-policy bundle evaluated in Table I."""
+    return [
+        WorkerLifecyclePolicy(),
+        TransferNeuterPolicy(),
+        WorkerXhrOriginPolicy(),
+        ErrorSanitizerPolicy(),
+        PrivateModeStoragePolicy(),
+    ]

@@ -1,0 +1,44 @@
+"""The general deterministic-scheduling policy (paper §II-B1, Listing 3).
+
+"The policy arranges all the events, such as onmessage, in a
+deterministic order": every registration receives a predicted time that
+is a function only of the kernel's logical state — the kernel clock
+(which itself ticks deterministically) and the per-kind slot grid — never
+of physical durations.  All the implicit-clock timing attacks of Table I
+collapse under this policy because the counts and timestamps they measure
+become constants.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..policy import Policy
+
+
+class DeterministicSchedulingPolicy(Policy):
+    """Predicted times from the deterministic slot grid."""
+
+    name = "deterministic-scheduling"
+    kind = "general"
+    enforces_order = True
+
+    def predict(self, event_kind: str, kspace, hint: Optional[int] = None) -> Optional[int]:
+        """predictOnMessage & friends: grid-rounded logical times.
+
+        * timers: kernel-now + requested delay, rounded up to the kind's
+          grid (so a 0 ms timeout lands on the next 1 ms slot);
+        * everything else: kernel-now + one grid step, rounded up.
+
+        The scheduler then enforces global monotonicity and per-kind slot
+        spacing for ``message`` events (the fixed 1 ms onmessage cadence
+        that Table II reports for JSKernel).
+        """
+        grid = kspace.grid.grid_for(event_kind)
+        base = kspace.clock.now
+        if event_kind in ("timeout", "interval", "media") and hint is not None:
+            target = base + max(hint, kspace.grid.min_lead_ns)
+        else:
+            target = base
+        # next grid boundary strictly after the target
+        return (target // grid + 1) * grid

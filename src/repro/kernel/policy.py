@@ -1,0 +1,172 @@
+"""Security-policy model (paper §II-B).
+
+A policy in JSKernel is a set of handlers the kernel consults at its hook
+points.  The paper distinguishes **general** policies (the deterministic
+scheduling policy that defends all timing attacks) from **specific**
+policies (hand-written per CVE).  Both kinds are expressed here as
+subclasses of :class:`Policy` overriding the hooks they care about; a
+:class:`CompositePolicy` stacks them, consulting each in order.
+
+Hook points
+-----------
+
+* :meth:`predict` — the scheduling algorithm: given an event kind and the
+  kernel clock, produce the predicted time.  This is where determinism
+  (or fuzzy time) lives.
+* :meth:`on_api_call` — a user-space API call crossed into the kernel;
+  may veto it by raising :class:`~repro.errors.SecurityError`.
+* :meth:`on_worker_create` / :meth:`on_worker_terminate_request` /
+  :meth:`on_worker_message` — thread-manager hooks for the CVE policies.
+* :meth:`on_error_event` — may sanitise error text before user space
+  sees it.
+* :meth:`allow_storage_access` — storage-gating hook (CVE-2017-7843).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..errors import PolicyError
+from ..runtime.simtime import ms
+
+
+class SchedulingGrid:
+    """Per-kind prediction parameters used by deterministic scheduling."""
+
+    def __init__(
+        self,
+        grids_ns: Optional[Dict[str, int]] = None,
+        min_lead_ns: int = ms(1),
+        spaced_kinds: Optional[set] = None,
+    ):
+        defaults = {
+            "timeout": ms(1),
+            "interval": ms(1),
+            "message": ms(1),
+            "raf": ms(10),
+            "network": ms(10),
+            "dom": ms(10),
+            "media": ms(1),
+            "storage": ms(1),
+            "generic": ms(1),
+        }
+        if grids_ns:
+            defaults.update(grids_ns)
+        self.grids_ns = defaults
+        self.min_lead_ns = min_lead_ns
+        #: Kinds whose consecutive events must sit a full grid step apart
+        #: (messages: the fixed 1 ms spacing is the loopscan defense).
+        #: Other kinds may share a slot — e.g. all fetches issued by one
+        #: task land on the same predicted slot, so page loads are not
+        #: serialised.
+        self.spaced_kinds = spaced_kinds if spaced_kinds is not None else {"message"}
+
+    def grid_for(self, kind: str) -> int:
+        """Slot spacing for an event kind."""
+        return self.grids_ns.get(kind, self.grids_ns["generic"])
+
+    def is_spaced(self, kind: str) -> bool:
+        """True when consecutive events of ``kind`` get distinct slots."""
+        return kind in self.spaced_kinds
+
+
+class Policy:
+    """Base policy: every hook is a pass-through."""
+
+    #: Short identifier (shows up in policy listings and tests).
+    name = "base"
+    #: Whether this is a paper-style "general" or "specific" policy.
+    kind = "general"
+    #: True when the policy's predicted times define a schedule the
+    #: dispatcher must enforce (order + pacing).  Pass-through policies
+    #: leave events dispatching at their natural confirmation times.
+    enforces_order = False
+
+    def predict(self, event_kind: str, kspace, hint: Optional[int] = None) -> Optional[int]:
+        """Return a predicted time (kernel ns) or None to defer."""
+        return None
+
+    def on_api_call(self, api: str, kspace, info: Dict[str, Any]) -> None:
+        """A user API call entered the kernel; raise SecurityError to veto."""
+
+    def on_worker_create(self, kworker) -> None:
+        """A kernel thread was created for a user worker."""
+
+    def on_worker_terminate_request(self, kworker) -> bool:
+        """User space asked to terminate a worker.
+
+        Return ``True`` if the policy takes ownership of the termination
+        (the thread manager then must NOT natively terminate now).
+        """
+        return False
+
+    def on_worker_message(self, kworker, direction: str, data: Any) -> None:
+        """A user message crossed the kernel worker boundary."""
+
+    def on_error_event(self, kworker, message: str, cross_origin: bool) -> str:
+        """Filter an error message before user space sees it."""
+        return message
+
+    def allow_storage_access(self, page) -> bool:
+        """Gate indexedDB access for a page."""
+        return True
+
+
+class CompositePolicy(Policy):
+    """Stack of policies consulted in order.
+
+    * ``predict``: first non-None wins (general scheduling policy should
+      therefore be listed first).
+    * veto hooks: every policy runs; any may raise.
+    * ``on_worker_terminate_request``: True if any policy claims it.
+    * ``on_error_event``: filters compose left to right.
+    * ``allow_storage_access``: all must allow.
+    """
+
+    name = "composite"
+
+    def __init__(self, policies: List[Policy]):
+        if not policies:
+            raise PolicyError("CompositePolicy needs at least one policy")
+        self.policies = list(policies)
+        self.enforces_order = any(p.enforces_order for p in self.policies)
+
+    def predict(self, event_kind: str, kspace, hint: Optional[int] = None) -> Optional[int]:
+        for policy in self.policies:
+            predicted = policy.predict(event_kind, kspace, hint)
+            if predicted is not None:
+                return predicted
+        return None
+
+    def on_api_call(self, api: str, kspace, info: Dict[str, Any]) -> None:
+        for policy in self.policies:
+            policy.on_api_call(api, kspace, info)
+
+    def on_worker_create(self, kworker) -> None:
+        for policy in self.policies:
+            policy.on_worker_create(kworker)
+
+    def on_worker_terminate_request(self, kworker) -> bool:
+        claimed = False
+        for policy in self.policies:
+            claimed = policy.on_worker_terminate_request(kworker) or claimed
+        return claimed
+
+    def on_worker_message(self, kworker, direction: str, data: Any) -> None:
+        for policy in self.policies:
+            policy.on_worker_message(kworker, direction, data)
+
+    def on_error_event(self, kworker, message: str, cross_origin: bool) -> str:
+        for policy in self.policies:
+            message = policy.on_error_event(kworker, message, cross_origin)
+        return message
+
+    def allow_storage_access(self, page) -> bool:
+        return all(policy.allow_storage_access(page) for policy in self.policies)
+
+    def find(self, name: str) -> Optional[Policy]:
+        """Look a stacked policy up by name."""
+        for policy in self.policies:
+            if policy.name == name:
+                return policy
+        return None

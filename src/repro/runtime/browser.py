@@ -1,0 +1,105 @@
+"""The browser facade: one simulated browser instance.
+
+Owns the simulator, network, heap, history, storage and profile; creates
+pages and (through pages) workers.  Defenses install themselves here —
+swapping the clock-policy factory, adding page/worker hooks, or replacing
+the worker implementation — before any page exists, exactly like an
+extension that runs at ``document_start``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set
+
+from .clock import ClockPolicy, QuantizedClockPolicy
+from .heap import SimHeap
+from .network import SimNetwork
+from .page import Page
+from .profiles import BrowserProfile, chrome
+from .rng import RngService
+from .sharedbuf import SharedCounterBuffer
+from .simulator import Simulator
+from .storage import IndexedDBStore
+from .worker import WorkerAgent
+
+
+class Browser:
+    """One browser process (simulated)."""
+
+    def __init__(
+        self,
+        profile: Optional[BrowserProfile] = None,
+        defense=None,
+        seed: int = 0,
+    ):
+        self.profile = profile or chrome()
+        self.sim = Simulator()
+        self.rng = RngService(seed)
+        self.heap = SimHeap(time_fn=lambda: self.sim.now)
+        self.network = SimNetwork(
+            self.rng.stream("network"),
+            base_latency_ns=self.profile.network_base_latency_ns,
+            bandwidth_bytes_per_ms=self.profile.network_bandwidth_bytes_per_ms,
+        )
+        self.idb = IndexedDBStore(
+            self.sim,
+            persist_private_writes=self.profile.has_bug("cve_2017_7843"),
+        )
+        self.history: Set[str] = set()
+        self.pages: List[Page] = []
+        self.workers: List[WorkerAgent] = []
+        #: Called with each new Page (defenses interpose here).
+        self.page_hooks: List[Callable[[Page], None]] = []
+        #: Called with each new WorkerAgent before its script runs.
+        self.worker_hooks: List[Callable[[WorkerAgent], None]] = []
+        #: Produces the ClockPolicy for each new scope (defense-controlled).
+        self.clock_policy_factory: Callable[[], ClockPolicy] = (
+            lambda: QuantizedClockPolicy(self.profile.clock_resolution_ns)
+        )
+        #: Clock policy behind CSS animations / media playback.  Exact by
+        #: default: compositors interpolate animation progress at call
+        #: time, and clamping performance.now does NOT clamp it (which is
+        #: why Tor is still vulnerable to the animation clocks); only
+        #: defenses that explicitly cover animation time override this.
+        self.animation_clock_policy_factory: Callable[[], ClockPolicy] = ClockPolicy
+        self.defense = defense
+        if defense is not None:
+            defense.install(self)
+
+    # ------------------------------------------------------------------
+    def open_page(self, url: str = "https://example.com/", private: bool = False) -> Page:
+        """Open a top-level page (runs defense page hooks)."""
+        page = Page(self, url, private_mode=private)
+        self.pages.append(page)
+        return page
+
+    def make_shared_buffer(self, size: int = 8) -> SharedCounterBuffer:
+        """``new SharedArrayBuffer(...)`` used as a counter timer."""
+        return SharedCounterBuffer(self.sim)
+
+    # ------------------------------------------------------------------
+    # history (history-sniffing substrate)
+    # ------------------------------------------------------------------
+    def visit(self, url: str) -> None:
+        """Record ``url`` in the browsing history."""
+        self.history.add(url)
+
+    def is_visited(self, url: str) -> bool:
+        """Style-recalc hook: is this link :visited?"""
+        return url in self.history
+
+    # ------------------------------------------------------------------
+    # simulation control
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None, max_events: int = 50_000_000) -> None:
+        """Advance the simulation (see :meth:`Simulator.run`)."""
+        self.sim.run(until=until, max_events=max_events)
+
+    def run_until(self, predicate: Callable[[], bool], max_events: int = 50_000_000) -> None:
+        """Advance until ``predicate()`` holds (see :meth:`Simulator.run_until`)."""
+        self.sim.run_until(predicate, max_events=max_events)
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self.sim.now

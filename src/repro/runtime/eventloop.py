@@ -1,0 +1,203 @@
+"""Per-thread event loop with busy-time accounting.
+
+Each JavaScript thread (the main thread and every worker) owns one
+:class:`EventLoop`.  The loop holds a macrotask queue ordered by ready time
+and a microtask queue drained after each macrotask, mirroring the HTML event
+loop processing model closely enough for the paper's purposes: ordering,
+queueing delays and interleaving are exact in virtual time.
+
+Busy-time model
+---------------
+
+When the loop dispatches a task it opens an :class:`ExecutionFrame` on the
+simulator, charges the task's fixed cost plus the loop's per-task dispatch
+cost, runs the Python callback (which may consume more cost), drains
+microtasks in the same frame, and finally marks the thread busy until the
+frame's local end time.  A task whose ready time falls inside another task's
+busy window is dispatched when the thread frees up — exactly the queueing
+behaviour implicit clocks measure.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .simulator import ExecutionFrame, ScheduledCall, Simulator
+from .task import Microtask, Task, TaskRecord, TaskSource
+
+
+class EventLoop:
+    """One thread's macrotask + microtask queues, driven by the simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        task_dispatch_cost: int = 2_000,
+        record_trace: bool = False,
+    ):
+        self.sim = sim
+        self.name = name
+        self.task_dispatch_cost = task_dispatch_cost
+        self._queue: List[Tuple[int, int, Task]] = []
+        self._microtasks: List[Microtask] = []
+        self.busy_until = 0
+        self.stopped = False
+        self._wakeup: Optional[ScheduledCall] = None
+        self._in_task = False
+        self.tasks_run = 0
+        self.record_trace = record_trace
+        self.trace: List[TaskRecord] = []
+        #: Observers called as fn(task, start, end) after each dispatch.
+        self.task_observers: List[Callable[[Task, int, int], None]] = []
+
+    # ------------------------------------------------------------------
+    # posting work
+    # ------------------------------------------------------------------
+    def post_task(self, task: Task) -> Task:
+        """Enqueue a macrotask; it runs no earlier than ``task.ready_time``."""
+        if self.stopped:
+            return task  # terminated workers silently drop new work
+        task.enqueue_time = self.sim.now
+        if task.ready_time < self.sim.dispatch_time:
+            task.ready_time = self.sim.dispatch_time
+        heapq.heappush(self._queue, (task.ready_time, task.id, task))
+        self._arm()
+        return task
+
+    def post(
+        self,
+        callback: Callable[..., None],
+        *args,
+        delay: int = 0,
+        source: TaskSource = TaskSource.SCRIPT,
+        cost: int = 0,
+        label: str = "",
+    ) -> Task:
+        """Convenience wrapper building and posting a :class:`Task`."""
+        task = Task(
+            callback,
+            args,
+            source=source,
+            ready_time=self.sim.now + delay,
+            cost=cost,
+            label=label,
+        )
+        return self.post_task(task)
+
+    def post_microtask(self, micro: Microtask) -> None:
+        """Enqueue a microtask.
+
+        If the loop is mid-task the microtask runs at the current task's
+        microtask checkpoint; otherwise a carrier macrotask is created so
+        the microtask still runs asynchronously (matches queueMicrotask
+        semantics from non-task contexts).
+        """
+        if self.stopped:
+            return
+        self._microtasks.append(micro)
+        if not self._in_task:
+            self.post(
+                lambda: None,
+                source=TaskSource.SCRIPT,
+                label="microtask-checkpoint",
+            )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Terminate the loop: drop all queued work, refuse new work."""
+        self.stopped = True
+        self._queue.clear()
+        self._microtasks.clear()
+        if self._wakeup is not None:
+            self._wakeup.cancel()
+            self._wakeup = None
+
+    @property
+    def pending_tasks(self) -> int:
+        """Number of queued, non-cancelled macrotasks."""
+        return sum(1 for _r, _i, t in self._queue if not t.cancelled)
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is queued and no task is executing."""
+        return not self._in_task and self.pending_tasks == 0
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _next_task_time(self) -> Optional[int]:
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        ready = self._queue[0][0]
+        return max(ready, self.busy_until, self.sim.dispatch_time)
+
+    def _arm(self) -> None:
+        """(Re)schedule the simulator wakeup for the next runnable task."""
+        if self.stopped or self._in_task:
+            return
+        run_at = self._next_task_time()
+        if run_at is None:
+            return
+        if self._wakeup is not None and not self._wakeup.cancelled:
+            if self._wakeup.time <= run_at:
+                return
+            self._wakeup.cancel()
+        self._wakeup = self.sim.schedule(run_at, self._wake, label=f"{self.name}:wake")
+
+    def _wake(self) -> None:
+        self._wakeup = None
+        if self.stopped:
+            return
+        run_at = self._next_task_time()
+        if run_at is None:
+            return
+        if run_at > self.sim.dispatch_time:
+            self._arm()
+            return
+        _ready, _id, task = heapq.heappop(self._queue)
+        if task.cancelled:
+            self._arm()
+            return
+        self._run_task(task)
+        self._arm()
+
+    def _run_task(self, task: Task) -> None:
+        start = max(self.sim.dispatch_time, self.busy_until, task.ready_time)
+        frame = ExecutionFrame(start, self.name)
+        self.sim.push_frame(frame)
+        self._in_task = True
+        try:
+            frame.consume(self.task_dispatch_cost + task.cost)
+            task.callback(*task.args)
+            self._drain_microtasks(frame)
+        finally:
+            self._in_task = False
+            self.sim.pop_frame()
+        end = frame.local_now
+        self.busy_until = max(self.busy_until, end)
+        self.tasks_run += 1
+        if self.record_trace:
+            self.trace.append(TaskRecord(task.id, task.label, task.source, start, end))
+        for observer in list(self.task_observers):
+            observer(task, start, end)
+
+    def _drain_microtasks(self, frame: ExecutionFrame) -> None:
+        """Run the microtask checkpoint (bounded to catch runaway chains)."""
+        budget = 100_000
+        while self._microtasks:
+            micro = self._microtasks.pop(0)
+            frame.consume(micro.cost)
+            micro.callback(*micro.args)
+            budget -= 1
+            if budget <= 0:
+                raise SimulationError(
+                    f"microtask checkpoint on {self.name!r} exceeded 100000 "
+                    "microtasks (runaway promise chain?)"
+                )

@@ -1,0 +1,198 @@
+"""``fetch``, ``Response``, ``AbortController`` / ``AbortSignal``.
+
+The fetch implementation allocates its internal request object on the
+simulated native heap.  This is the substrate for CVE-2018-5092 (paper
+Listing 2): on a *false worker termination* a buggy browser frees the
+native fetch object but forgets to unregister it from the abort signal, so
+a later ``abort()`` dereferences a freed pointer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from ..errors import ReproError
+from .eventloop import EventLoop
+from .heap import NativePtr, SimHeap
+from .network import NetworkRequest, NetworkResponse, SimNetwork
+from .origin import URL, Origin, parse_url
+from .promises import SimPromise
+
+#: Cost of calling fetch() (request setup, header serialisation).
+FETCH_CALL_COST = 4_000
+
+
+class AbortError(ReproError):
+    """Rejection reason for an aborted fetch."""
+
+
+class Response:
+    """Subset of the Fetch API Response the experiments use."""
+
+    __slots__ = ("url", "status", "body", "from_cache")
+
+    def __init__(self, url: URL, status: int, body: Any, from_cache: bool):
+        self.url = url
+        self.status = status
+        self.body = body
+        self.from_cache = from_cache
+
+    @property
+    def ok(self) -> bool:
+        """True for 2xx statuses."""
+        return 200 <= self.status < 300
+
+
+class NativeFetchRequest:
+    """The browser-internal request object (heap-allocated)."""
+
+    def __init__(self, url: URL, network_request: Optional[NetworkRequest]):
+        self.url = url
+        self.network_request = network_request
+        self.settled = False
+
+    def cancel(self) -> None:
+        """Abort path: cancel the underlying network transfer."""
+        if self.network_request is not None:
+            self.network_request.cancel()
+        self.settled = True
+
+
+class AbortSignal:
+    """The signal half of AbortController.
+
+    Holds *native pointers* to the requests it can abort — matching the
+    browser implementation detail the CVE exploits.
+    """
+
+    def __init__(self):
+        self.aborted = False
+        self._request_ptrs: List[NativePtr] = []
+        self._listeners: List[Callable[[], None]] = []
+
+    def register_request(self, ptr: NativePtr) -> None:
+        """Wire a fetch's native request to this signal."""
+        self._request_ptrs.append(ptr)
+
+    def unregister_request(self, ptr: NativePtr) -> None:
+        """Unwire a request (correct browsers do this on free)."""
+        if ptr in self._request_ptrs:
+            self._request_ptrs.remove(ptr)
+
+    def add_listener(self, listener: Callable[[], None]) -> None:
+        """abort-event listener."""
+        self._listeners.append(listener)
+
+    @property
+    def registered_requests(self) -> List[NativePtr]:
+        """Native requests currently wired to this signal."""
+        return list(self._request_ptrs)
+
+    def _fire(self, cve: str = "") -> None:
+        self.aborted = True
+        for ptr in list(self._request_ptrs):
+            native = ptr.deref(cve=cve)  # UAF here if a buggy free occurred
+            native.cancel()
+        for listener in list(self._listeners):
+            listener()
+
+
+class AbortController:
+    """``new AbortController()``."""
+
+    def __init__(self):
+        self.signal = AbortSignal()
+
+    def abort(self, cve: str = "") -> None:
+        """Abort every fetch registered on this controller's signal."""
+        self.signal._fire(cve=cve)
+
+
+class FetchManager:
+    """Per-scope fetch implementation.
+
+    Tracks outstanding requests so thread teardown can release them —
+    correctly (unregistering from signals) or buggily (leaving dangling
+    signal registrations), depending on the browser's bug flags.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        network: SimNetwork,
+        heap: SimHeap,
+        base_url: URL,
+        origin: Origin,
+    ):
+        self.loop = loop
+        self.network = network
+        self.heap = heap
+        self.base_url = base_url
+        self.origin = origin
+        self.outstanding: List[NativePtr] = []
+        self._signal_of: dict = {}
+
+    # ------------------------------------------------------------------
+    def fetch(self, url: str, options: Optional[dict] = None) -> SimPromise:
+        """``fetch(url, {signal})`` → promise of a :class:`Response`."""
+        self.loop.sim.consume(FETCH_CALL_COST)
+        options = options or {}
+        signal: Optional[AbortSignal] = options.get("signal")
+        target = parse_url(url, base=self.base_url)
+        promise = SimPromise(self.loop, label=f"fetch:{target.path}")
+
+        if signal is not None and signal.aborted:
+            promise.reject(AbortError(f"fetch {url} aborted before start"))
+            return promise
+
+        native = NativeFetchRequest(target, None)
+        ptr = self.heap.alloc(native, "FetchRequest")
+        self.outstanding.append(ptr)
+        if signal is not None:
+            signal.register_request(ptr)
+            self._signal_of[ptr.addr] = signal
+
+        def on_complete(response: NetworkResponse) -> None:
+            if native.settled:
+                return
+            native.settled = True
+            self._release(ptr, buggy=False)
+            if response.ok:
+                body = response.resource.body if response.resource else None
+                promise.resolve(Response(target, response.status, body, response.from_cache))
+            else:
+                promise.reject(ReproError(f"fetch {url}: HTTP {response.status}"))
+
+        native.network_request = self.network.request(self.loop, target, on_complete)
+
+        if signal is not None:
+            def on_abort() -> None:
+                # native.cancel() has already run (the signal dereferenced
+                # the request), so key off the promise state instead
+                if promise.state == "pending":
+                    native.settled = True
+                    self._release(ptr, buggy=False)
+                    promise.reject(AbortError(f"fetch {url} aborted"))
+
+            signal.add_listener(on_abort)
+        return promise
+
+    # ------------------------------------------------------------------
+    def release_all(self, buggy: bool) -> None:
+        """Free every outstanding native request (thread teardown).
+
+        ``buggy=True`` models CVE-2018-5092: the free happens but the abort
+        signal keeps its dangling pointer, so a later abort() is a UAF.
+        """
+        for ptr in list(self.outstanding):
+            self._release(ptr, buggy=buggy)
+
+    def _release(self, ptr: NativePtr, buggy: bool) -> None:
+        if ptr not in self.outstanding:
+            return
+        self.outstanding.remove(ptr)
+        signal = self._signal_of.pop(ptr.addr, None)
+        if signal is not None and not buggy:
+            signal.unregister_request(ptr)
+        if not ptr.freed:
+            ptr.free()

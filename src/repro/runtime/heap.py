@@ -1,0 +1,141 @@
+"""Simulated native heap for modelling memory-safety CVEs.
+
+The worker-lifecycle CVEs in Table I are low-level bugs (use-after-free,
+null dereference) in the browser's C++ — not in JavaScript.  To let attack
+scripts *trigger* them and defenses *prevent* them, the runtime allocates
+its internal structures (fetch requests, transferable buffers, worker
+wrappers) on this heap.  Buggy code paths, enabled by ``BrowserProfile``
+bug flags, free objects at the wrong time; a later dereference raises
+:class:`~repro.errors.UseAfterFreeError`, which stands in for the real
+browser's exploitable crash.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional
+
+from ..errors import DoubleFreeError, NullDerefError, UseAfterFreeError
+
+
+class NativePtr:
+    """A pointer into the simulated heap.
+
+    Dereferencing a freed pointer raises :class:`UseAfterFreeError`;
+    dereferencing :data:`NULL` raises :class:`NullDerefError`.
+    """
+
+    __slots__ = ("heap", "addr", "kind")
+
+    def __init__(self, heap: Optional["SimHeap"], addr: int, kind: str):
+        self.heap = heap
+        self.addr = addr
+        self.kind = kind
+
+    @property
+    def is_null(self) -> bool:
+        """True for the null pointer."""
+        return self.heap is None
+
+    def deref(self, cve: str = "") -> Any:
+        """Return the pointed-to object, enforcing memory safety."""
+        if self.heap is None:
+            raise NullDerefError(f"null dereference of {self.kind} pointer", cve=cve)
+        return self.heap.deref(self, cve=cve)
+
+    def free(self, cve: str = "") -> None:
+        """Free the allocation behind this pointer."""
+        if self.heap is None:
+            raise NullDerefError(f"free of null {self.kind} pointer", cve=cve)
+        self.heap.free(self, cve=cve)
+
+    @property
+    def freed(self) -> bool:
+        """True once the allocation has been freed."""
+        if self.heap is None:
+            return False
+        return self.heap.is_freed(self.addr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.heap is None:
+            return f"<NativePtr NULL {self.kind}>"
+        state = "freed" if self.freed else "live"
+        return f"<NativePtr 0x{self.addr:x} {self.kind} ({state})>"
+
+
+#: The null native pointer (shared sentinel).
+NULL = NativePtr(None, 0, "null")
+
+
+class AllocationRecord:
+    """Bookkeeping for one heap allocation (used by tests and analysis)."""
+
+    __slots__ = ("addr", "kind", "alloc_time", "free_time")
+
+    def __init__(self, addr: int, kind: str, alloc_time: int):
+        self.addr = addr
+        self.kind = kind
+        self.alloc_time = alloc_time
+        self.free_time: Optional[int] = None
+
+
+class SimHeap:
+    """The browser's internal allocator.
+
+    ``strict`` mode (the default) raises on UAF/double free, modelling an
+    exploitable crash.  Experiments that want to *observe* rather than
+    crash can read :attr:`violations`.
+    """
+
+    def __init__(self, time_fn=None):
+        self._objects: Dict[int, Any] = {}
+        self._freed: Dict[int, AllocationRecord] = {}
+        self._records: Dict[int, AllocationRecord] = {}
+        self._addrs = itertools.count(0x1000, 0x10)
+        self._time_fn = time_fn or (lambda: 0)
+        self.violations: List[str] = []
+
+    # ------------------------------------------------------------------
+    def alloc(self, obj: Any, kind: str) -> NativePtr:
+        """Allocate ``obj`` and return a live pointer."""
+        addr = next(self._addrs)
+        self._objects[addr] = obj
+        self._records[addr] = AllocationRecord(addr, kind, self._time_fn())
+        return NativePtr(self, addr, kind)
+
+    def free(self, ptr: NativePtr, cve: str = "") -> None:
+        """Free the allocation at ``ptr``; double free raises."""
+        if ptr.addr in self._freed:
+            self.violations.append(f"double-free:{ptr.kind}")
+            raise DoubleFreeError(f"double free of {ptr.kind} at 0x{ptr.addr:x}", cve=cve)
+        if ptr.addr not in self._objects:
+            raise DoubleFreeError(f"free of unallocated 0x{ptr.addr:x}", cve=cve)
+        record = self._records[ptr.addr]
+        record.free_time = self._time_fn()
+        self._freed[ptr.addr] = record
+        del self._objects[ptr.addr]
+
+    def deref(self, ptr: NativePtr, cve: str = "") -> Any:
+        """Read through ``ptr``; UAF raises."""
+        if ptr.addr in self._freed:
+            self.violations.append(f"use-after-free:{ptr.kind}")
+            raise UseAfterFreeError(
+                f"use-after-free of {ptr.kind} at 0x{ptr.addr:x}", cve=cve
+            )
+        if ptr.addr not in self._objects:
+            raise UseAfterFreeError(f"wild pointer 0x{ptr.addr:x}", cve=cve)
+        return self._objects[ptr.addr]
+
+    def is_freed(self, addr: int) -> bool:
+        """True when ``addr`` has been freed."""
+        return addr in self._freed
+
+    @property
+    def live_count(self) -> int:
+        """Number of live allocations."""
+        return len(self._objects)
+
+    @property
+    def freed_count(self) -> int:
+        """Number of freed allocations."""
+        return len(self._freed)

@@ -1,0 +1,72 @@
+"""Interposition machinery: setter traps and sealed attributes.
+
+The paper's kernel interface (§III-B) relies on three JavaScript
+capabilities that we mirror for Python objects:
+
+* **API redefinition** — any scope attribute can be reassigned (plain
+  Python attribute assignment), so a defense can swap ``setTimeout`` for a
+  wrapped version exactly like an extension content-script does;
+* **kernel traps** — ``Object.defineProperty(obj, 'onmessage', {set})``:
+  a registered *setter trap* observes/redirects assignments to a property;
+* **sealing** — ``Object.freeze`` / non-configurable properties: once a
+  name is sealed, further assignment (and trap replacement) raises
+  :class:`~repro.errors.SecurityError`.  This is what stops the adversarial
+  self-modifying code of §VI from restoring the native APIs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Set
+
+from ..errors import SecurityError
+
+
+class Interposable:
+    """Base class providing setter traps and attribute sealing."""
+
+    def __init__(self):
+        object.__setattr__(self, "_setter_traps", {})
+        object.__setattr__(self, "_sealed_attrs", set())
+
+    # ------------------------------------------------------------------
+    def define_setter_trap(self, name: str, trap: Callable[[Any], None]) -> None:
+        """Register ``trap`` to intercept assignments to ``name``.
+
+        Installing a trap on a sealed name is rejected — the kernel seals
+        its own traps so user scripts cannot replace them.
+        """
+        traps: Dict[str, Callable] = object.__getattribute__(self, "_setter_traps")
+        sealed: Set[str] = object.__getattribute__(self, "_sealed_attrs")
+        if name in sealed and name in traps:
+            raise SecurityError(f"setter trap for {name!r} is sealed")
+        traps[name] = trap
+
+    def seal_attribute(self, name: str) -> None:
+        """Make ``name`` non-configurable (assignment raises)."""
+        sealed: Set[str] = object.__getattribute__(self, "_sealed_attrs")
+        sealed.add(name)
+
+    def sealed(self, name: str) -> bool:
+        """True when ``name`` has been sealed."""
+        return name in object.__getattribute__(self, "_sealed_attrs")
+
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value: Any) -> None:
+        if not name.startswith("_"):
+            traps = object.__getattribute__(self, "_setter_traps")
+            trap = traps.get(name)
+            if trap is not None:
+                # like a non-configurable accessor: assignment runs the
+                # (possibly sealed) setter rather than replacing it
+                trap(value)
+                return
+            sealed = object.__getattribute__(self, "_sealed_attrs")
+            if name in sealed:
+                raise SecurityError(
+                    f"attribute {name!r} is sealed (non-configurable)"
+                )
+        super().__setattr__(name, value)
+
+    def set_raw(self, name: str, value: Any) -> None:
+        """Bypass traps and seals (kernel-internal writes only)."""
+        object.__setattr__(self, name, value)

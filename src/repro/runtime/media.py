@@ -1,0 +1,99 @@
+"""Video playback and WebVTT cues as implicit clocks.
+
+Kohlbrenner & Shacham [6] list ``video.currentTime`` and WebVTT cue events
+among the implicit clocks a browser must police.  The runtime models a
+playing video whose ``currentTime`` is sampled through a (policy-filtered)
+clock, plus cue callbacks scheduled on the media task source.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .clock import PerformanceClock
+from .eventloop import EventLoop
+from .simtime import ms
+from .task import TaskSource
+
+#: Cost of reading video.currentTime.
+CURRENT_TIME_COST = 700
+
+
+class WebVTTCue:
+    """One timed cue."""
+
+    __slots__ = ("start_ms", "end_ms", "text", "on_enter")
+
+    def __init__(self, start_ms: float, end_ms: float, text: str = ""):
+        self.start_ms = start_ms
+        self.end_ms = end_ms
+        self.text = text
+        self.on_enter: Optional[Callable[["WebVTTCue"], None]] = None
+
+
+class VideoElement:
+    """A playing <video> with a currentTime clock and VTT cues."""
+
+    def __init__(self, loop: EventLoop, clock: PerformanceClock, duration_ms: float = 60_000.0):
+        self.loop = loop
+        self.clock = clock
+        self.duration_ms = duration_ms
+        self.playing = False
+        self._play_started_ms = 0.0
+        self._paused_at_ms = 0.0
+        self.cues: List[WebVTTCue] = []
+
+    # ------------------------------------------------------------------
+    def play(self) -> None:
+        """Start (or resume) playback; schedules cue events."""
+        if self.playing:
+            return
+        self.playing = True
+        self._play_started_ms = self.clock.now() - self._paused_at_ms
+        for cue in self.cues:
+            if cue.start_ms >= self._paused_at_ms:
+                self._schedule_cue(cue)
+
+    def pause(self) -> None:
+        """Pause playback, freezing currentTime."""
+        if not self.playing:
+            return
+        self._paused_at_ms = self.current_time * 1000.0
+        self.playing = False
+
+    @property
+    def current_time(self) -> float:
+        """``video.currentTime`` in seconds, sampled via the clock."""
+        self.loop.sim.consume(CURRENT_TIME_COST)
+        if not self.playing:
+            return self._paused_at_ms / 1000.0
+        elapsed_ms = self.clock.now() - self._play_started_ms
+        return min(elapsed_ms, self.duration_ms) / 1000.0
+
+    # ------------------------------------------------------------------
+    def add_cue(self, cue: WebVTTCue) -> WebVTTCue:
+        """Attach a WebVTT cue; if playing, schedule its enter event."""
+        self.cues.append(cue)
+        if self.playing:
+            self._schedule_cue(cue)
+        return cue
+
+    def _schedule_cue(self, cue: WebVTTCue) -> None:
+        now_ms = self.clock.now()
+        fire_in_ms = max(cue.start_ms - (now_ms - self._play_started_ms), 0.0)
+
+        def fire() -> None:
+            if self.playing and cue.on_enter is not None:
+                cue.on_enter(cue)
+
+        self.loop.post(
+            fire,
+            delay=ms(fire_in_ms),
+            source=TaskSource.MEDIA,
+            label=f"vtt-cue@{cue.start_ms}",
+        )
+
+
+def make_cue_grid(interval_ms: float, count: int) -> List[WebVTTCue]:
+    """Evenly spaced cues — the implicit-clock configuration attacks use."""
+    return [WebVTTCue(i * interval_ms, (i + 1) * interval_ms) for i in range(count)]

@@ -1,0 +1,164 @@
+"""Browser profiles: Chrome, Firefox, Edge.
+
+A :class:`BrowserProfile` collects the per-browser constants that produce
+the per-browser rows in the paper's Tables II/III — clock resolution,
+event-loop costs, frame interval, parse/decode throughput — plus the *bug
+flags* that enable the vulnerable code paths of the CVE scenarios.
+
+For the Table I security evaluation the paper deliberately uses browser
+builds that still contain each vulnerability ("we download the vulnerable
+version of the browser"), so :func:`vulnerable` returns a profile with
+every bug enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .render import RenderCosts
+from .simtime import FRAME_INTERVAL, ms, us
+
+#: All CVE bug flags modelled by the runtime.
+ALL_BUGS = (
+    "cve_2018_5092",
+    "cve_2017_7843",
+    "cve_2015_7215",
+    "cve_2014_3194",
+    "cve_2014_1719",
+    "cve_2014_1488",
+    "cve_2014_1487",
+    "cve_2013_6646",
+    "cve_2013_5602",
+    "cve_2013_1714",
+    "cve_2011_1190",
+    "cve_2010_4576",
+)
+
+
+class BrowserProfile:
+    """Per-browser constants for the simulated runtime."""
+
+    def __init__(
+        self,
+        name: str,
+        clock_resolution_ns: int,
+        task_dispatch_cost: int,
+        message_latency_ns: int,
+        frame_interval_ns: int,
+        worker_spawn_latency_ns: int,
+        script_parse_cost_per_byte: float,
+        image_decode_cost_per_pixel: float,
+        render_costs: Optional[RenderCosts] = None,
+        min_timer_delay_ns: int = ms(1),
+        network_base_latency_ns: int = ms(8),
+        network_bandwidth_bytes_per_ms: int = 1_200,
+        js_op_cost: int = 4,
+        bugs: Optional[Dict[str, bool]] = None,
+    ):
+        self.name = name
+        self.clock_resolution_ns = clock_resolution_ns
+        self.task_dispatch_cost = task_dispatch_cost
+        self.message_latency_ns = message_latency_ns
+        self.frame_interval_ns = frame_interval_ns
+        self.worker_spawn_latency_ns = worker_spawn_latency_ns
+        self.script_parse_cost_per_byte = script_parse_cost_per_byte
+        self.image_decode_cost_per_pixel = image_decode_cost_per_pixel
+        self.render_costs = render_costs or RenderCosts()
+        self.min_timer_delay_ns = min_timer_delay_ns
+        self.network_base_latency_ns = network_base_latency_ns
+        self.network_bandwidth_bytes_per_ms = network_bandwidth_bytes_per_ms
+        self.js_op_cost = js_op_cost
+        self.bugs = dict(bugs or {})
+
+    def has_bug(self, flag: str) -> bool:
+        """True when the vulnerable code path ``flag`` is present."""
+        return bool(self.bugs.get(flag, False))
+
+    def clone(self, **overrides) -> "BrowserProfile":
+        """Copy with selected fields replaced."""
+        kwargs = dict(
+            name=self.name,
+            clock_resolution_ns=self.clock_resolution_ns,
+            task_dispatch_cost=self.task_dispatch_cost,
+            message_latency_ns=self.message_latency_ns,
+            frame_interval_ns=self.frame_interval_ns,
+            worker_spawn_latency_ns=self.worker_spawn_latency_ns,
+            script_parse_cost_per_byte=self.script_parse_cost_per_byte,
+            image_decode_cost_per_pixel=self.image_decode_cost_per_pixel,
+            render_costs=self.render_costs,
+            min_timer_delay_ns=self.min_timer_delay_ns,
+            network_base_latency_ns=self.network_base_latency_ns,
+            network_bandwidth_bytes_per_ms=self.network_bandwidth_bytes_per_ms,
+            js_op_cost=self.js_op_cost,
+            bugs=dict(self.bugs),
+        )
+        kwargs.update(overrides)
+        return BrowserProfile(**kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<BrowserProfile {self.name}>"
+
+
+def chrome() -> BrowserProfile:
+    """Google Chrome (paper-era M6x): 5 µs clock, fast event loop."""
+    return BrowserProfile(
+        name="chrome",
+        clock_resolution_ns=us(5),
+        task_dispatch_cost=2_000,
+        message_latency_ns=us(30),
+        frame_interval_ns=FRAME_INTERVAL,
+        worker_spawn_latency_ns=ms(1.2),
+        script_parse_cost_per_byte=90.0,
+        image_decode_cost_per_pixel=2.6,
+        render_costs=RenderCosts(base_paint=us(280), style_per_node=850, layout_per_node=1_000),
+    )
+
+
+def firefox() -> BrowserProfile:
+    """Mozilla Firefox (paper-era 5x): 1 ms clock, heavier main loop."""
+    return BrowserProfile(
+        name="firefox",
+        clock_resolution_ns=ms(1),
+        task_dispatch_cost=6_000,
+        message_latency_ns=us(90),
+        frame_interval_ns=FRAME_INTERVAL,
+        worker_spawn_latency_ns=ms(1.8),
+        script_parse_cost_per_byte=110.0,
+        image_decode_cost_per_pixel=2.9,
+        render_costs=RenderCosts(base_paint=us(340), style_per_node=950, layout_per_node=1_150),
+        network_base_latency_ns=ms(10),
+    )
+
+
+def edge() -> BrowserProfile:
+    """Microsoft Edge (paper-era EdgeHTML): 1 ms clock, ~42 Hz frames."""
+    return BrowserProfile(
+        name="edge",
+        clock_resolution_ns=ms(1),
+        task_dispatch_cost=5_000,
+        message_latency_ns=us(120),
+        frame_interval_ns=ms(24),
+        worker_spawn_latency_ns=ms(2.2),
+        script_parse_cost_per_byte=140.0,
+        image_decode_cost_per_pixel=3.4,
+        render_costs=RenderCosts(base_paint=us(420), style_per_node=1_100, layout_per_node=1_350),
+        network_base_latency_ns=ms(11),
+    )
+
+
+_FACTORIES = {"chrome": chrome, "firefox": firefox, "edge": edge}
+
+
+def by_name(name: str) -> BrowserProfile:
+    """Look a profile factory up by name."""
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise KeyError(f"unknown browser profile {name!r}; have {sorted(_FACTORIES)}")
+
+
+def vulnerable(name: str = "chrome") -> BrowserProfile:
+    """A legacy profile with every CVE bug flag enabled (Table I setup)."""
+    profile = by_name(name)
+    profile.bugs = {flag: True for flag in ALL_BUGS}
+    return profile

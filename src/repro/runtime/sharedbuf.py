@@ -1,0 +1,155 @@
+"""ArrayBuffers, transferables and the SharedArrayBuffer timer.
+
+Two distinct objects matter to the paper:
+
+* :class:`SimArrayBuffer` — a transferable buffer backed by a native heap
+  allocation.  Transferring detaches the sender's reference; the CVE
+  scenarios that free a transferred buffer on worker termination
+  (CVE-2014-1488) operate on its :class:`~repro.runtime.heap.NativePtr`.
+
+* :class:`SharedCounterBuffer` — shared memory used as a fine-grained timer
+  (Schwarz et al., "Fantastic Timers" [12]): a worker increments a counter
+  in a tight loop while the main thread reads it.  We model the tight loop
+  as a *rate activity*: once a worker declares it is spinning at rate ``r``,
+  any read at virtual time ``t`` observes ``floor((t - t0) · r)`` plus the
+  base value.  This keeps concurrent reads exact without simulating every
+  increment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import SimulationError
+from .heap import NativePtr, SimHeap
+from .simtime import MS
+from .simulator import Simulator
+
+#: Cost of one typed-array element access.
+ELEMENT_ACCESS_COST = 40
+
+
+class SimArrayBuffer:
+    """A (transferable) ArrayBuffer backed by the simulated native heap."""
+
+    def __init__(self, heap: SimHeap, byte_length: int, label: str = "ArrayBuffer"):
+        self.byte_length = byte_length
+        self.label = label
+        self._ptr: NativePtr = heap.alloc(bytearray(min(byte_length, 4096)), "ArrayBuffer")
+        self.detached = False
+
+    @property
+    def ptr(self) -> NativePtr:
+        """The backing native allocation (used by CVE scenarios)."""
+        return self._ptr
+
+    def detach(self) -> None:
+        """Neuter this reference (structured-clone transfer)."""
+        self.detached = True
+
+    def transferred_view(self) -> "SimArrayBuffer":
+        """The receiver-side object after a transfer.
+
+        Shares the same backing allocation (that is the point of
+        transferring) under a fresh, non-detached reference.
+        """
+        view = SimArrayBuffer.__new__(SimArrayBuffer)
+        view.byte_length = self.byte_length
+        view.label = f"{self.label}/transferred"
+        view._ptr = self._ptr
+        view.detached = False
+        return view
+
+    def read(self, index: int = 0, cve: str = "") -> int:
+        """Read one byte; enforces detach + memory-safety semantics."""
+        if self.detached:
+            raise SimulationError(f"{self.label}: read from detached ArrayBuffer")
+        data = self._ptr.deref(cve=cve)
+        return data[index % len(data)] if data else 0
+
+    def write(self, index: int, value: int, cve: str = "") -> None:
+        """Write one byte; enforces detach + memory-safety semantics."""
+        if self.detached:
+            raise SimulationError(f"{self.label}: write to detached ArrayBuffer")
+        data = self._ptr.deref(cve=cve)
+        if data:
+            data[index % len(data)] = value & 0xFF
+
+
+class RateActivity:
+    """A declared increments-at-rate-r interval on a shared counter."""
+
+    __slots__ = ("start", "end", "rate_per_ms", "base")
+
+    def __init__(self, start: int, rate_per_ms: float, base: int):
+        self.start = start
+        self.end: Optional[int] = None
+        self.rate_per_ms = rate_per_ms
+        self.base = base
+
+    def value_at(self, now: int) -> int:
+        """Counter value contributed by this activity at time ``now``."""
+        effective_end = now if self.end is None else min(now, self.end)
+        if effective_end <= self.start:
+            return self.base
+        elapsed_ms = (effective_end - self.start) / MS
+        return self.base + int(elapsed_ms * self.rate_per_ms)
+
+
+class SharedCounterBuffer:
+    """SharedArrayBuffer used as a monotone counter / fine-grained timer."""
+
+    def __init__(self, sim: Simulator, label: str = "SharedArrayBuffer"):
+        self.sim = sim
+        self.label = label
+        self._static_value = 0
+        self._activity: Optional[RateActivity] = None
+        self._history: List[RateActivity] = []
+
+    # ------------------------------------------------------------------
+    # writer side (worker)
+    # ------------------------------------------------------------------
+    def start_increment_activity(self, rate_per_ms: float) -> None:
+        """Declare a tight increment loop starting now at ``rate_per_ms``."""
+        if self._activity is not None:
+            self.stop_increment_activity()
+        self._activity = RateActivity(self.sim.now, rate_per_ms, self.load_raw())
+
+    def stop_increment_activity(self) -> None:
+        """End the current increment loop, freezing the counter."""
+        if self._activity is None:
+            return
+        self._activity.end = self.sim.now
+        self._static_value = self._activity.value_at(self.sim.now)
+        self._history.append(self._activity)
+        self._activity = None
+
+    def store(self, value: int) -> None:
+        """Atomics.store: set the counter (stops any running activity)."""
+        self.sim.consume(ELEMENT_ACCESS_COST)
+        self.stop_increment_activity()
+        self._static_value = value
+
+    # ------------------------------------------------------------------
+    # reader side (any thread)
+    # ------------------------------------------------------------------
+    def load(self) -> int:
+        """Atomics.load: read the counter at the caller's local time."""
+        self.sim.consume(ELEMENT_ACCESS_COST)
+        return self.load_raw()
+
+    def load_raw(self) -> int:
+        """Read without charging access cost (internal use)."""
+        if self._activity is not None:
+            return self._activity.value_at(self.sim.now)
+        return self._static_value
+
+    @property
+    def incrementing(self) -> bool:
+        """True while a rate activity is running."""
+        return self._activity is not None
+
+
+def make_timer_pair(sim: Simulator) -> Tuple[SharedCounterBuffer, SharedCounterBuffer]:
+    """Convenience: (counter, flag) buffers as SAB timer attacks use."""
+    return SharedCounterBuffer(sim, "sab-counter"), SharedCounterBuffer(sim, "sab-flag")

@@ -1,0 +1,65 @@
+"""Virtual-time units and helpers.
+
+All simulated time is kept as **integer nanoseconds** so that the simulation
+is exactly deterministic (no floating-point drift) and so that clock
+resolution/quantisation policies are exact integer arithmetic.
+
+User-visible JavaScript clocks (``performance.now``, ``Date.now``) report
+milliseconds; conversion helpers live here so the two unit systems never mix
+silently.
+"""
+
+from __future__ import annotations
+
+#: One microsecond in simulation ticks.
+US = 1_000
+#: One millisecond in simulation ticks.
+MS = 1_000_000
+#: One second in simulation ticks.
+SECOND = 1_000_000_000
+
+#: Default vsync frame interval (60 Hz), matching desktop browsers.
+FRAME_INTERVAL = 16_666_667
+
+
+def ms(value: float) -> int:
+    """Convert milliseconds (possibly fractional) to integer nanoseconds."""
+    return int(round(value * MS))
+
+
+def us(value: float) -> int:
+    """Convert microseconds (possibly fractional) to integer nanoseconds."""
+    return int(round(value * US))
+
+
+def seconds(value: float) -> int:
+    """Convert seconds (possibly fractional) to integer nanoseconds."""
+    return int(round(value * SECOND))
+
+
+def to_ms(ns: int) -> float:
+    """Convert integer nanoseconds to float milliseconds (for reporting)."""
+    return ns / MS
+
+
+def quantize(ns: int, resolution_ns: int) -> int:
+    """Floor ``ns`` to a multiple of ``resolution_ns``.
+
+    This is the primitive behind every clock-resolution defense: Tor
+    Browser's 100 ms clamp, post-Spectre 5 µs clamps, and Fuzzyfox's fuzzy
+    grid all floor the true time onto a grid.
+    """
+    if resolution_ns <= 1:
+        return ns
+    return (ns // resolution_ns) * resolution_ns
+
+
+def format_ns(ns: int) -> str:
+    """Human-readable rendering of a duration, e.g. ``'16.667ms'``."""
+    if ns >= SECOND:
+        return f"{ns / SECOND:.3f}s"
+    if ns >= MS:
+        return f"{ns / MS:.3f}ms"
+    if ns >= US:
+        return f"{ns / US:.3f}us"
+    return f"{ns}ns"

@@ -1,0 +1,223 @@
+"""Discrete-event simulation core.
+
+The :class:`Simulator` owns virtual time (integer nanoseconds, see
+:mod:`repro.runtime.simtime`) and a priority queue of timed callbacks.  Every
+other runtime component — event loops, timers, the network, the renderer —
+drives itself by scheduling callbacks here.
+
+Execution frames
+----------------
+
+JavaScript tasks run *for a duration*: a callback that busy-loops for 3 ms
+occupies its thread for 3 ms of virtual time, during which
+``performance.now()`` advances and cross-thread messages pile up unprocessed.
+We model this with :class:`ExecutionFrame`: while a task's Python callable is
+running, the frame accumulates ``elapsed`` cost (every simulated operation
+calls :meth:`ExecutionFrame.consume`), and :attr:`Simulator.now` reports the
+*local* time ``start + elapsed``.  When the callable returns, the owning
+event loop marks its thread busy until that local time, so subsequent tasks
+queue behind it exactly as in a real event loop.
+
+Cross-thread side effects performed mid-task (posting a message, starting a
+network request) are stamped with the local time, which keeps the global
+event order causally consistent even though Python executes the overlapping
+tasks sequentially.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import DeadlockError, SimulationError
+
+
+class ScheduledCall:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "seq", "fn", "cancelled", "label")
+
+    def __init__(self, time: int, seq: int, fn: Callable[[], None], label: str):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledCall {self.label!r} at {self.time} ({state})>"
+
+
+class ExecutionFrame:
+    """Cost accounting for one running task.
+
+    ``start`` is the virtual time at which the task began executing;
+    ``elapsed`` is the simulated CPU time consumed so far by the task's
+    synchronous code.
+    """
+
+    __slots__ = ("start", "elapsed", "thread_name")
+
+    def __init__(self, start: int, thread_name: str):
+        self.start = start
+        self.elapsed = 0
+        self.thread_name = thread_name
+
+    @property
+    def local_now(self) -> int:
+        """The thread-local current time inside this task."""
+        return self.start + self.elapsed
+
+    def consume(self, cost_ns: int) -> None:
+        """Account ``cost_ns`` of synchronous CPU work to this task."""
+        if cost_ns < 0:
+            raise SimulationError(f"negative cost: {cost_ns}")
+        self.elapsed += cost_ns
+
+
+class Simulator:
+    """The global discrete-event scheduler.
+
+    Only one task's Python code runs at a time; virtual-time overlap between
+    threads is reconstructed from frame accounting (see module docstring).
+    """
+
+    def __init__(self):
+        self._time = 0
+        self._heap: List[Tuple[int, int, ScheduledCall]] = []
+        self._seq = itertools.count()
+        self._frames: List[ExecutionFrame] = []
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current virtual time.
+
+        Inside a running task this is the task-local time (start + consumed
+        cost); between tasks it is the time of the event being dispatched.
+        """
+        if self._frames:
+            return self._frames[-1].local_now
+        return self._time
+
+    @property
+    def dispatch_time(self) -> int:
+        """Time of the most recent event pop (ignores frame progress)."""
+        return self._time
+
+    # ------------------------------------------------------------------
+    # frames
+    # ------------------------------------------------------------------
+    def push_frame(self, frame: ExecutionFrame) -> None:
+        """Enter a task execution frame (event loops call this)."""
+        self._frames.append(frame)
+
+    def pop_frame(self) -> ExecutionFrame:
+        """Leave the current task execution frame."""
+        if not self._frames:
+            raise SimulationError("pop_frame with no active frame")
+        return self._frames.pop()
+
+    @property
+    def current_frame(self) -> Optional[ExecutionFrame]:
+        """The innermost active execution frame, if any."""
+        return self._frames[-1] if self._frames else None
+
+    def consume(self, cost_ns: int) -> None:
+        """Account synchronous cost to the current frame (no-op outside)."""
+        if self._frames:
+            self._frames[-1].consume(cost_ns)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, at: int, fn: Callable[[], None], label: str = "") -> ScheduledCall:
+        """Schedule ``fn`` to run at absolute virtual time ``at``.
+
+        ``at`` may not be in the past relative to the *dispatch* clock; it
+        may be earlier than the current frame's local time (a message sent
+        late in a long task still has a send-time stamp inside the task).
+        """
+        if at < self._time:
+            raise SimulationError(
+                f"cannot schedule at {at} before dispatch time {self._time}"
+            )
+        call = ScheduledCall(at, next(self._seq), fn, label)
+        heapq.heappush(self._heap, (at, call.seq, call))
+        return call
+
+    def schedule_after(self, delay: int, fn: Callable[[], None], label: str = "") -> ScheduledCall:
+        """Schedule ``fn`` after ``delay`` ns of *local* time."""
+        return self.schedule(self.now + delay, fn, label)
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Dispatch the single earliest pending event.
+
+        Returns ``False`` when no events remain.
+        """
+        while self._heap:
+            time, _seq, call = heapq.heappop(self._heap)
+            if call.cancelled:
+                continue
+            self._time = time
+            self.events_processed += 1
+            call.fn()
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: int = 50_000_000) -> None:
+        """Run until the queue empties or virtual time passes ``until``.
+
+        ``max_events`` is a runaway-experiment backstop; hitting it raises
+        :class:`SimulationError` rather than spinning forever.
+        """
+        processed = 0
+        while self._heap:
+            time = self._heap[0][0]
+            if until is not None and time > until:
+                self._time = until
+                return
+            if not self.step():
+                return
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events (runaway loop?)"
+                )
+        if until is not None and until > self._time:
+            self._time = until
+
+    def run_until(self, predicate: Callable[[], bool], max_events: int = 50_000_000) -> None:
+        """Run until ``predicate()`` becomes true.
+
+        Raises :class:`DeadlockError` if the event queue drains first: the
+        awaited completion can then never occur.
+        """
+        processed = 0
+        while not predicate():
+            if not self.step():
+                raise DeadlockError(
+                    "event queue drained before the awaited condition became true"
+                )
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"run_until exceeded {max_events} events (runaway loop?)"
+                )
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled, non-cancelled events."""
+        return sum(1 for _t, _s, c in self._heap if not c.cancelled)

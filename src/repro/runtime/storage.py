@@ -1,0 +1,74 @@
+"""``indexedDB`` with private-browsing semantics.
+
+CVE-2017-7843: Firefox kept private-browsing indexedDB data reachable
+across private sessions, letting a site fingerprint users who believed
+private mode was ephemeral.  The store models both the correct behaviour
+(per-session, discarded on session end) and the buggy one (writes land in
+a persistent store shared across private sessions).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import SecurityError
+from .origin import Origin
+
+#: Cost of one indexedDB operation (transaction + (de)serialisation).
+IDB_OP_COST = 15_000
+
+
+class IndexedDBStore:
+    """Browser-wide indexedDB state (all origins, both modes)."""
+
+    def __init__(self, sim, persist_private_writes: bool = False):
+        self.sim = sim
+        #: The buggy behaviour flag (CVE-2017-7843).
+        self.persist_private_writes = persist_private_writes
+        self._persistent: Dict[Tuple[str, str], Any] = {}
+        self._private_session: Dict[Tuple[str, str], Any] = {}
+        #: Set by JSKernel's CVE policy to deny private-mode access.
+        self.private_access_blocked = False
+
+    # ------------------------------------------------------------------
+    def put(self, origin: Origin, key: str, value: Any, private_mode: bool) -> None:
+        """``objectStore.put(value, key)``."""
+        self.sim.consume(IDB_OP_COST)
+        self._check_policy(private_mode)
+        slot = (origin.serialize(), key)
+        if private_mode and not self.persist_private_writes:
+            self._private_session[slot] = value
+        else:
+            # correct browsers write non-private data persistently; the
+            # buggy path ALSO lands private writes here
+            self._persistent[slot] = value
+
+    def get(self, origin: Origin, key: str, private_mode: bool) -> Optional[Any]:
+        """``objectStore.get(key)``."""
+        self.sim.consume(IDB_OP_COST)
+        self._check_policy(private_mode)
+        slot = (origin.serialize(), key)
+        if private_mode:
+            if slot in self._private_session:
+                return self._private_session[slot]
+            if self.persist_private_writes:
+                # bug: private reads can see the persistent store
+                return self._persistent.get(slot)
+            return None
+        return self._persistent.get(slot)
+
+    def end_private_session(self) -> None:
+        """Close the private window: ephemeral data must vanish."""
+        self._private_session.clear()
+
+    def _check_policy(self, private_mode: bool) -> None:
+        if private_mode and self.private_access_blocked:
+            raise SecurityError(
+                "indexedDB access in private browsing denied by policy"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def persistent_size(self) -> int:
+        """Number of keys in the persistent store (tests/analysis)."""
+        return len(self._persistent)

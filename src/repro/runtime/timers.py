@@ -1,0 +1,127 @@
+"""``setTimeout`` / ``setInterval`` with HTML-style clamping.
+
+Timers are the implicit clock used by the first block of Table I attacks, so
+their semantics matter:
+
+* delays are clamped to the browser's minimum (``min_delay_ns``);
+* nested timers (a timeout scheduled from a timeout, more than five levels
+  deep) are clamped to 4 ms, as the HTML spec requires — this is what bounds
+  the resolution of a naive ``setTimeout(0)`` chain clock;
+* ``setInterval`` does not queue a second firing while one is already
+  pending (interval coalescing), which is why a blocked main thread yields a
+  *late burst count* proportional to the blocking duration only for pending
+  network/message events, not intervals.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Optional
+
+from .eventloop import EventLoop
+from .simtime import ms
+from .task import Task, TaskSource
+
+#: HTML spec: timeouts nested more than 5 deep are clamped to >= 4 ms.
+NESTING_CLAMP_DEPTH = 5
+NESTING_CLAMP_NS = ms(4)
+
+#: Cost of the setTimeout call itself.
+TIMER_API_COST = 2_200
+
+
+class _TimerEntry:
+    __slots__ = ("task", "interval_ns", "callback", "args", "nesting", "cancelled")
+
+    def __init__(self, callback, args, interval_ns, nesting):
+        self.task: Optional[Task] = None
+        self.callback = callback
+        self.args = args
+        self.interval_ns = interval_ns  # None for one-shot timeouts
+        self.nesting = nesting
+        self.cancelled = False
+
+
+class TimerRegistry:
+    """Per-scope timer table (each window/worker scope owns one)."""
+
+    def __init__(self, loop: EventLoop, min_delay_ns: int = ms(1)):
+        self.loop = loop
+        self.min_delay_ns = min_delay_ns
+        self._ids = itertools.count(1)
+        self._entries: Dict[int, _TimerEntry] = {}
+        self._current_nesting = 0
+
+    # ------------------------------------------------------------------
+    # public API (what the scope exposes)
+    # ------------------------------------------------------------------
+    def set_timeout(self, callback: Callable[..., None], delay_ms: float = 0, *args) -> int:
+        """``setTimeout(cb, delay)`` → timer id."""
+        self.loop.sim.consume(TIMER_API_COST)
+        entry = _TimerEntry(callback, args, None, self._current_nesting + 1)
+        timer_id = next(self._ids)
+        self._entries[timer_id] = entry
+        self._schedule(timer_id, entry, ms(max(delay_ms, 0)))
+        return timer_id
+
+    def set_interval(self, callback: Callable[..., None], delay_ms: float = 0, *args) -> int:
+        """``setInterval(cb, delay)`` → timer id."""
+        self.loop.sim.consume(TIMER_API_COST)
+        interval = max(ms(max(delay_ms, 0)), self.min_delay_ns)
+        entry = _TimerEntry(callback, args, interval, self._current_nesting + 1)
+        timer_id = next(self._ids)
+        self._entries[timer_id] = entry
+        self._schedule(timer_id, entry, interval)
+        return timer_id
+
+    def clear_timeout(self, timer_id: int) -> None:
+        """``clearTimeout(id)`` / ``clearInterval(id)``."""
+        self.loop.sim.consume(TIMER_API_COST)
+        entry = self._entries.pop(timer_id, None)
+        if entry is None:
+            return
+        entry.cancelled = True
+        if entry.task is not None:
+            entry.task.cancel()
+
+    clear_interval = clear_timeout
+
+    @property
+    def active_count(self) -> int:
+        """Number of live timers (pending timeouts + running intervals)."""
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _clamp(self, delay_ns: int, nesting: int) -> int:
+        delay = max(delay_ns, self.min_delay_ns)
+        if nesting > NESTING_CLAMP_DEPTH:
+            delay = max(delay, NESTING_CLAMP_NS)
+        return delay
+
+    def _schedule(self, timer_id: int, entry: _TimerEntry, delay_ns: int) -> None:
+        delay = self._clamp(delay_ns, entry.nesting)
+        entry.task = self.loop.post(
+            self._fire,
+            timer_id,
+            delay=delay,
+            source=TaskSource.TIMER,
+            label=f"timer#{timer_id}",
+        )
+
+    def _fire(self, timer_id: int) -> None:
+        entry = self._entries.get(timer_id)
+        if entry is None or entry.cancelled:
+            return
+        previous = self._current_nesting
+        self._current_nesting = entry.nesting
+        try:
+            entry.callback(*entry.args)
+        finally:
+            self._current_nesting = previous
+        if entry.interval_ns is not None and not entry.cancelled:
+            # Re-arm the interval relative to this firing.
+            self._schedule(timer_id, entry, entry.interval_ns)
+        elif entry.interval_ns is None:
+            self._entries.pop(timer_id, None)

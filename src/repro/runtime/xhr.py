@@ -1,0 +1,84 @@
+"""``XMLHttpRequest`` with same-origin-policy enforcement.
+
+The interesting case for the paper is CVE-2013-1714: Firefox's *worker*
+XHR path skipped the SOP check, so a worker could read cross-origin
+responses.  The runtime models this with an ``enforce_sop`` flag the scope
+sets from the browser's bug flags: main-thread XHR always checks, a buggy
+worker XHR does not.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..errors import SecurityError
+from .eventloop import EventLoop
+from .network import NetworkResponse, SimNetwork
+from .origin import URL, Origin, parse_url, same_origin
+
+#: States mirroring XMLHttpRequest.readyState.
+UNSENT = 0
+OPENED = 1
+DONE = 4
+
+#: Cost of open()+send().
+XHR_CALL_COST = 3_000
+
+
+class XMLHttpRequest:
+    """Small XHR: open/send/onload/onerror, sync SOP check on send."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        network: SimNetwork,
+        base_url: URL,
+        origin: Origin,
+        enforce_sop: bool = True,
+    ):
+        self.loop = loop
+        self.network = network
+        self.base_url = base_url
+        self.origin = origin
+        self.enforce_sop = enforce_sop
+        self.ready_state = UNSENT
+        self.status = 0
+        self.response_text: Optional[str] = None
+        self.response_body: Any = None
+        self.onload: Optional[Callable[[], None]] = None
+        self.onerror: Optional[Callable[[], None]] = None
+        self._target: Optional[URL] = None
+
+    def open(self, method: str, url: str) -> None:
+        """``xhr.open(method, url)``."""
+        self.loop.sim.consume(XHR_CALL_COST)
+        self._target = parse_url(url, base=self.base_url)
+        self.ready_state = OPENED
+
+    def send(self) -> None:
+        """``xhr.send()``; raises :class:`SecurityError` on SOP violation.
+
+        Real browsers use CORS rather than an outright exception, but the
+        paper's CVE scenario only needs deny-vs-allow.
+        """
+        if self._target is None or self.ready_state != OPENED:
+            raise SecurityError("XMLHttpRequest.send before open")
+        if self.enforce_sop and not same_origin(self.origin, self._target.origin):
+            raise SecurityError(
+                f"XHR from {self.origin.serialize()} to cross-origin "
+                f"{self._target.origin.serialize()} blocked by SOP"
+            )
+        self.network.request(self.loop, self._target, self._on_complete)
+
+    def _on_complete(self, response: NetworkResponse) -> None:
+        self.ready_state = DONE
+        self.status = response.status
+        if response.ok and response.resource is not None:
+            body = response.resource.body
+            self.response_body = body
+            self.response_text = body if isinstance(body, str) else f"<{response.resource.size_bytes} bytes>"
+            if self.onload is not None:
+                self.onload()
+        else:
+            if self.onerror is not None:
+                self.onerror()

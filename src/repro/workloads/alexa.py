@@ -1,0 +1,91 @@
+"""Alexa-Top-500-like population of synthetic sites (Figure 3).
+
+The paper loads the Alexa Top 500 in seven browser configurations and
+plots the loading-time CDF.  We generate a seeded population of sites in
+three weight classes (roughly matching the head/torso/tail of popular
+sites) and measure ``Page.load_time_ns`` per configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..defenses import make_browser
+from ..runtime.rng import hash_seed
+from ..runtime.simtime import to_ms
+from .sites import SiteDescription, generate_site, load_site
+
+#: Figure 3's browser configurations (defense registry names).
+FIGURE3_CONFIGS = [
+    "legacy-chrome",
+    "jskernel",            # Chrome with JSKernel (browser-agnostic default)
+    "chromezero",
+    "legacy-firefox",
+    "jskernel-firefox",    # Firefox with JSKernel
+    "deterfox",
+    "tor",
+    "fuzzyfox",
+]
+
+
+def alexa_population(count: int = 500, seed: int = 0) -> List[SiteDescription]:
+    """Generate the seeded site population."""
+    sites: List[SiteDescription] = []
+    for rank in range(count):
+        if rank < count * 0.2:
+            weight = "light"
+        elif rank < count * 0.75:
+            weight = "medium"
+        else:
+            weight = "heavy"
+        sites.append(generate_site(f"site{rank:03d}.example", hash_seed(seed, str(rank)), weight))
+    return sites
+
+
+def _browser_for(config: str, seed: int):
+    if config == "jskernel-firefox":
+        browser = make_browser("jskernel", browser_name="firefox", seed=seed, with_bugs=False)
+    else:
+        browser = make_browser(config, seed=seed, with_bugs=False)
+    return browser
+
+
+def measure_load_time_ms(config: str, site: SiteDescription, seed: int = 0) -> float:
+    """One visit: virtual ms from navigation to the load event."""
+    browser = _browser_for(config, seed)
+    page = browser.open_page(site.url)
+    load_site(browser, site, page=page)
+    browser.run_until(lambda: page.loaded)
+    # drain a little so defense-level deferred work is accounted
+    return to_ms(page.load_time_ns)
+
+
+def measure_population(
+    config: str,
+    sites: List[SiteDescription],
+    visits: int = 3,
+    seed: int = 0,
+) -> List[float]:
+    """Average load time per site over ``visits`` (the Figure 3 series)."""
+    averages: List[float] = []
+    for site in sites:
+        times = [
+            measure_load_time_ms(config, site, hash_seed(seed, f"{site.host}:{visit}"))
+            for visit in range(visits)
+        ]
+        averages.append(sum(times) / len(times))
+    return averages
+
+
+def figure3_series(
+    site_count: int = 500,
+    visits: int = 3,
+    seed: int = 0,
+    configs: Optional[List[str]] = None,
+) -> Dict[str, List[float]]:
+    """config name -> per-site average load times (for the CDF)."""
+    sites = alexa_population(site_count, seed)
+    series: Dict[str, List[float]] = {}
+    for config in configs or FIGURE3_CONFIGS:
+        series[config] = measure_population(config, sites, visits, seed)
+    return series

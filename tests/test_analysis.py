@@ -1,0 +1,151 @@
+"""Unit tests for statistics, distinguishability and table rendering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    best_threshold_accuracy,
+    cdf_points,
+    cosine_similarity,
+    distinguishable,
+    held_out_accuracy,
+    mean,
+    median,
+    percentile,
+    render_cdf_summary,
+    render_matrix,
+    render_series,
+    render_table,
+    stdev,
+    summarize,
+    welch_t,
+)
+
+
+# ----------------------------------------------------------------------
+# stats
+# ----------------------------------------------------------------------
+
+def test_mean_median_stdev():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert mean(values) == 2.5
+    assert median(values) == 2.5
+    assert median([1, 5, 9]) == 5
+    assert stdev(values) == pytest.approx(1.29099, abs=1e-4)
+    assert stdev([7.0]) == 0.0
+
+
+def test_mean_empty_raises():
+    with pytest.raises(ValueError):
+        mean([])
+    with pytest.raises(ValueError):
+        median([])
+
+
+def test_percentile():
+    values = list(range(101))
+    assert percentile(values, 0) == 0
+    assert percentile(values, 50) == 50
+    assert percentile(values, 100) == 100
+    assert percentile([10.0], 73) == 10.0
+    with pytest.raises(ValueError):
+        percentile(values, 101)
+
+
+def test_cdf_points():
+    points = cdf_points([3.0, 1.0, 2.0])
+    assert points == [(1.0, 1 / 3), (2.0, 2 / 3), (3.0, 1.0)]
+
+
+def test_cosine_similarity_identical_and_disjoint():
+    assert cosine_similarity("<a><b>", "<a><b>") == pytest.approx(1.0)
+    assert cosine_similarity("<a>", "<b>") == pytest.approx(0.0)
+    middling = cosine_similarity("<a><b><c>", "<a><b><d>")
+    assert 0.4 < middling < 0.9
+
+
+def test_summarize_bundle():
+    bundle = summarize([1.0, 2.0, 3.0])
+    assert bundle["mean"] == 2.0
+    assert bundle["n"] == 3.0
+    assert bundle["min"] == 1.0 and bundle["max"] == 3.0
+
+
+# ----------------------------------------------------------------------
+# distinguishability
+# ----------------------------------------------------------------------
+
+def test_identical_samples_are_indistinguishable():
+    assert best_threshold_accuracy([5.0] * 8, [5.0] * 8) == 0.5
+    assert not distinguishable([5.0] * 8, [5.0] * 8)
+    assert welch_t([5.0] * 8, [5.0] * 8) == 0.0
+
+
+def test_separated_samples_distinguishable():
+    a = [1.0, 1.1, 0.9, 1.05] * 3
+    b = [9.0, 9.1, 8.9, 9.05] * 3
+    assert best_threshold_accuracy(a, b) == 1.0
+    assert held_out_accuracy(a, b) == 1.0
+    assert distinguishable(a, b)
+
+
+def test_constant_but_different_samples_distinguishable():
+    assert welch_t([3.0] * 6, [4.0] * 6) == float("inf")
+    assert distinguishable([3.0] * 6, [4.0] * 6)
+
+
+def test_pure_noise_not_distinguishable():
+    import random
+
+    rng = random.Random(3)
+    a = [rng.gauss(10, 3) for _ in range(12)]
+    b = [rng.gauss(10, 3) for _ in range(12)]
+    assert not distinguishable(a, b)
+
+
+def test_small_shift_found_by_averaging_adversary():
+    import random
+
+    rng = random.Random(4)
+    a = [rng.gauss(10.0, 0.5) for _ in range(12)]
+    b = [rng.gauss(11.5, 0.5) for _ in range(12)]
+    assert distinguishable(a, b)
+
+
+def test_best_threshold_requires_both_sides():
+    with pytest.raises(ValueError):
+        best_threshold_accuracy([], [1.0])
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), min_size=2, max_size=20),
+    st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), min_size=2, max_size=20),
+)
+def test_accuracy_bounds(a, b):
+    accuracy = best_threshold_accuracy(a, b)
+    assert 0.5 <= accuracy <= 1.0
+    assert 0.0 <= held_out_accuracy(a, b) <= 1.0
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+
+def test_render_matrix_marks_disagreements():
+    matrix = {"atk": {"d1": True, "d2": False}}
+    expected = {"atk": {"d1": True, "d2": True}}
+    text = render_matrix(matrix, ["d1", "d2"], expected=expected)
+    assert "+" in text and "x!" in text
+
+
+def test_render_table_alignment():
+    text = render_table(["name", "value"], [["row", 1.234]], title="T")
+    assert "T" in text
+    assert "1.23" in text
+
+
+def test_render_series_and_cdf():
+    series_text = render_series({"chrome": [(2.0, 4.0)]}, title="fig")
+    assert "(2, 4.00)" in series_text
+    cdf_text = render_cdf_summary({"cfg": [1.0, 2.0, 3.0]})
+    assert "p50" in cdf_text

@@ -1,0 +1,118 @@
+"""Unit tests for clocks and clock-degradation policies."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime.clock import (
+    CLOCK_CALL_COST,
+    ClockPolicy,
+    DateClock,
+    FuzzyClockPolicy,
+    PerformanceClock,
+    QuantizedClockPolicy,
+)
+from repro.runtime.eventloop import EventLoop
+from repro.runtime.simtime import MS, ms, us
+from repro.runtime.simulator import ExecutionFrame, Simulator
+
+
+def test_exact_policy_is_identity():
+    assert ClockPolicy().report(123_456) == 123_456
+
+
+def test_quantized_policy_floors():
+    policy = QuantizedClockPolicy(MS)
+    assert policy.report(1_999_999) == MS
+    assert policy.report(2_000_000) == 2 * MS
+
+
+def test_fuzzy_policy_is_monotone():
+    policy = FuzzyClockPolicy(MS, random.Random(1))
+    last = -1
+    for t in range(0, 50 * MS, MS // 4):
+        value = policy.report(t)
+        assert value >= last
+        last = value
+
+
+def test_fuzzy_policy_advances_roughly_with_time():
+    policy = FuzzyClockPolicy(MS, random.Random(2))
+    value = policy.report(200 * MS)
+    # random walk, but anchored: expect within a factor of ~2
+    assert 50 * MS < value < 400 * MS
+
+
+def _time_to_edge_after(offset_ns: int, seed: int) -> int:
+    """Align to a fuzzy edge, wait ``offset_ns``, measure time to next edge."""
+    policy = FuzzyClockPolicy(MS, random.Random(seed))
+    t = 0
+    v0 = policy.report(t)
+    while policy.report(t) == v0:
+        t += 20_000
+    probe = t + offset_ns
+    v1 = policy.report(probe)
+    extra = 0
+    while policy.report(probe + extra) == v1:
+        extra += 20_000
+    return extra
+
+
+def test_fuzzy_edges_are_memoryless_in_expectation():
+    """Phase info must not survive: E[time-to-edge] ~ independent of when
+    we start waiting (the clock-edge defense property).
+
+    The two waits differ 7x; with exponential (memoryless) edges the mean
+    residual time is the same for both.
+    """
+    trials = 400
+    mean_a = sum(_time_to_edge_after(100_000, s) for s in range(trials)) / trials
+    mean_b = sum(_time_to_edge_after(700_000, 10_000 + s) for s in range(trials)) / trials
+    assert abs(mean_a - mean_b) / max(mean_a, mean_b) < 0.25
+
+
+def test_performance_clock_reports_policy_time():
+    sim = Simulator()
+    clock = PerformanceClock(sim, QuantizedClockPolicy(MS))
+    frame = ExecutionFrame(0, "t")
+    sim.push_frame(frame)
+    frame.consume(ms(5) + 123)
+    assert clock.now() == pytest.approx(5.0)
+    sim.pop_frame()
+
+
+def test_performance_clock_charges_call_cost():
+    sim = Simulator()
+    clock = PerformanceClock(sim)
+    frame = ExecutionFrame(0, "t")
+    sim.push_frame(frame)
+    clock.now()
+    assert frame.elapsed == CLOCK_CALL_COST
+    sim.pop_frame()
+
+
+def test_performance_clock_origin_offset():
+    sim = Simulator()
+    clock = PerformanceClock(sim, origin=ms(100))
+    frame = ExecutionFrame(ms(150), "t")
+    sim.push_frame(frame)
+    assert clock.now() == pytest.approx(50.0, abs=0.01)
+    sim.pop_frame()
+    assert clock.time_origin == pytest.approx(100.0)
+
+
+def test_date_clock_reports_epoch_milliseconds():
+    sim = Simulator()
+    clock = DateClock(sim)
+    frame = ExecutionFrame(ms(1234), "t")
+    sim.push_frame(frame)
+    assert clock.now() == DateClock.EPOCH_MS + 1234
+    sim.pop_frame()
+
+
+@given(st.integers(min_value=1, max_value=10**9))
+def test_quantized_policy_never_exceeds_truth(resolution):
+    policy = QuantizedClockPolicy(resolution)
+    for t in (0, resolution - 1, resolution, 7 * resolution + 3):
+        assert policy.report(t) <= t

@@ -1,0 +1,110 @@
+"""Unit tests for the DOM substrate."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.dom import Document
+from repro.runtime.simulator import Simulator
+
+
+@pytest.fixture
+def doc():
+    return Document(Simulator())
+
+
+def test_document_starts_with_html_and_body(doc):
+    assert doc.document_element.tag == "html"
+    assert doc.body.tag == "body"
+    assert doc.body.connected
+    assert doc.node_count() == 2
+
+
+def test_create_and_append(doc):
+    div = doc.create_element("DIV")
+    assert div.tag == "div"
+    assert not div.connected
+    doc.body.append_child(div)
+    assert div.connected
+    assert div.parent is doc.body
+    assert doc.node_count() == 3
+
+
+def test_append_reparents(doc):
+    a = doc.body.append_child(doc.create_element("a"))
+    b = doc.body.append_child(doc.create_element("b"))
+    b.append_child(a)
+    assert a.parent is b
+    assert a not in doc.body.children
+
+
+def test_remove_child(doc):
+    div = doc.body.append_child(doc.create_element("div"))
+    doc.body.remove_child(div)
+    assert not div.connected
+    with pytest.raises(SimulationError):
+        doc.body.remove_child(div)
+
+
+def test_attributes(doc):
+    div = doc.create_element("div")
+    div.set_attribute("id", "main")
+    assert div.get_attribute("id") == "main"
+    assert div.get_attribute("missing") is None
+
+
+def test_mutations_mark_document_dirty(doc):
+    doc.dirty = False
+    div = doc.create_element("div")
+    doc.body.append_child(div)
+    assert doc.dirty
+    doc.dirty = False
+    div.set_style("color", "red")
+    assert doc.dirty
+
+
+def test_src_triggers_resource_loader_when_connected(doc):
+    loads = []
+    doc.resource_loader = loads.append
+    img = doc.create_element("img")
+    img.set_attribute("src", "/a.png")  # not connected: no load
+    assert loads == []
+    doc.body.append_child(img)  # connected with src: load fires
+    assert loads == [img]
+    img.set_attribute("src", "/b.png")  # src change while connected
+    assert loads == [img, img]
+
+
+def test_serialization_is_deterministic(doc):
+    div = doc.body.append_child(doc.create_element("div"))
+    div.set_attribute("b", "2")
+    div.set_attribute("a", "1")
+    div.text = "hi"
+    serialized = doc.serialize()
+    assert serialized == '<html><body><div a="1" b="2">hi</div></body></html>'
+    assert doc.serialize() == serialized
+
+
+def test_descendants_depth_first(doc):
+    a = doc.body.append_child(doc.create_element("a"))
+    b = a.append_child(doc.create_element("b"))
+    c = doc.body.append_child(doc.create_element("c"))
+    tags = [el.tag for el in doc.document_element.descendants()]
+    assert tags == ["body", "a", "b", "c"]
+
+
+def test_get_elements_by_tag(doc):
+    doc.body.append_child(doc.create_element("span"))
+    doc.body.append_child(doc.create_element("span"))
+    doc.body.append_child(doc.create_element("div"))
+    assert len(doc.get_elements_by_tag("SPAN")) == 2
+
+
+def test_dom_operations_consume_time(doc):
+    sim = doc.sim
+    from repro.runtime.simulator import ExecutionFrame
+
+    frame = ExecutionFrame(0, "t")
+    sim.push_frame(frame)
+    doc.create_element("div")
+    assert frame.elapsed > 0
+    sim.pop_frame()

@@ -1,0 +1,167 @@
+"""Unit tests for fetch, AbortController and XMLHttpRequest."""
+
+import random
+
+import pytest
+
+from repro.errors import SecurityError, UseAfterFreeError
+from repro.runtime.eventloop import EventLoop
+from repro.runtime.fetchapi import AbortController, AbortError, FetchManager
+from repro.runtime.heap import SimHeap
+from repro.runtime.network import SimNetwork
+from repro.runtime.origin import parse_url
+from repro.runtime.simtime import ms
+from repro.runtime.simulator import Simulator
+from repro.runtime.xhr import XMLHttpRequest
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    loop = EventLoop(sim, "fetch-test", task_dispatch_cost=0)
+    network = SimNetwork(random.Random(1), jitter_ns=0, bandwidth_bytes_per_ms=1_000)
+    heap = SimHeap()
+    base = parse_url("https://app.example/")
+    manager = FetchManager(loop, network, heap, base, base.origin)
+    return sim, loop, network, heap, manager
+
+
+def test_fetch_resolves_with_response(env):
+    sim, _loop, network, _heap, manager = env
+    network.host_simple(parse_url("https://app.example/data.json"), 1_000, body="payload")
+    results = []
+    manager.fetch("/data.json").then(lambda r: results.append(r))
+    sim.run()
+    assert results[0].ok
+    assert results[0].body == "payload"
+
+
+def test_fetch_rejects_on_404(env):
+    sim, _loop, _network, _heap, manager = env
+    errors = []
+    manager.fetch("/missing").catch(errors.append)
+    sim.run()
+    assert errors and "404" in str(errors[0])
+
+
+def test_fetch_releases_native_request_on_completion(env):
+    sim, _loop, network, heap, manager = env
+    network.host_simple(parse_url("https://app.example/x"), 100)
+    manager.fetch("/x")
+    assert len(manager.outstanding) == 1
+    sim.run()
+    assert manager.outstanding == []
+    assert heap.freed_count == 1
+
+
+def test_abort_cancels_in_flight_fetch(env):
+    sim, loop, network, _heap, manager = env
+    network.host_simple(parse_url("https://app.example/slow"), 50_000)
+    controller = AbortController()
+    outcomes = []
+    manager.fetch("/slow", {"signal": controller.signal}).then(
+        lambda r: outcomes.append("ok"), lambda e: outcomes.append(type(e).__name__)
+    )
+    loop.post(lambda: controller.abort(), delay=ms(2))
+    sim.run()
+    assert outcomes == ["AbortError"]
+
+
+def test_abort_before_start_rejects_immediately(env):
+    sim, _loop, _network, _heap, manager = env
+    controller = AbortController()
+    controller.abort()
+    outcomes = []
+    manager.fetch("/x", {"signal": controller.signal}).catch(
+        lambda e: outcomes.append(type(e).__name__)
+    )
+    sim.run()
+    assert outcomes == ["AbortError"]
+
+
+def test_clean_release_unregisters_from_signal(env):
+    sim, _loop, network, _heap, manager = env
+    network.host_simple(parse_url("https://app.example/x"), 100)
+    controller = AbortController()
+    manager.fetch("/x", {"signal": controller.signal})
+    assert len(controller.signal.registered_requests) == 1
+    sim.run()
+    assert controller.signal.registered_requests == []
+    controller.abort()  # nothing dangling: safe
+
+
+def test_buggy_release_leaves_dangling_registration(env):
+    """The CVE-2018-5092 substrate: free without unregistering."""
+    sim, _loop, network, _heap, manager = env
+    network.host_simple(parse_url("https://app.example/slow"), 50_000)
+    controller = AbortController()
+    manager.fetch("/slow", {"signal": controller.signal})
+    manager.release_all(buggy=True)
+    with pytest.raises(UseAfterFreeError):
+        controller.abort(cve="CVE-2018-5092")
+
+
+def test_clean_release_all_is_safe(env):
+    sim, _loop, network, _heap, manager = env
+    network.host_simple(parse_url("https://app.example/slow"), 50_000)
+    controller = AbortController()
+    manager.fetch("/slow", {"signal": controller.signal})
+    manager.release_all(buggy=False)
+    controller.abort()  # unregistered: no dereference happens
+
+
+# ----------------------------------------------------------------------
+# XHR
+# ----------------------------------------------------------------------
+
+def make_xhr(env, enforce_sop=True):
+    sim, loop, network, _heap, _manager = env
+    base = parse_url("https://app.example/")
+    return sim, network, XMLHttpRequest(loop, network, base, base.origin, enforce_sop=enforce_sop)
+
+
+def test_xhr_same_origin_succeeds(env):
+    sim, network, xhr = make_xhr(env)
+    network.host_simple(parse_url("https://app.example/api"), 100, body="data")
+    results = []
+    xhr.open("GET", "/api")
+    xhr.onload = lambda: results.append(xhr.response_text)
+    xhr.send()
+    sim.run()
+    assert results == ["data"]
+    assert xhr.status == 200
+
+
+def test_xhr_cross_origin_blocked_by_sop(env):
+    sim, network, xhr = make_xhr(env, enforce_sop=True)
+    network.host_simple(parse_url("https://victim.example/api"), 100, body="secret")
+    xhr.open("GET", "https://victim.example/api")
+    with pytest.raises(SecurityError):
+        xhr.send()
+
+
+def test_xhr_cross_origin_allowed_with_bug(env):
+    sim, network, xhr = make_xhr(env, enforce_sop=False)
+    network.host_simple(parse_url("https://victim.example/api"), 100, body="secret")
+    results = []
+    xhr.open("GET", "https://victim.example/api")
+    xhr.onload = lambda: results.append(xhr.response_text)
+    xhr.send()
+    sim.run()
+    assert results == ["secret"]
+
+
+def test_xhr_send_before_open_raises(env):
+    _sim, _network, xhr = make_xhr(env)
+    with pytest.raises(SecurityError):
+        xhr.send()
+
+
+def test_xhr_onerror_on_404(env):
+    sim, _network, xhr = make_xhr(env)
+    outcomes = []
+    xhr.open("GET", "/nope")
+    xhr.onerror = lambda: outcomes.append(xhr.status)
+    xhr.send()
+    sim.run()
+    assert outcomes == [404]

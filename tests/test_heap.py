@@ -1,0 +1,77 @@
+"""Unit tests for the simulated native heap (memory-safety substrate)."""
+
+import pytest
+
+from repro.errors import DoubleFreeError, NullDerefError, UseAfterFreeError
+from repro.runtime.heap import NULL, SimHeap
+
+
+@pytest.fixture
+def heap():
+    return SimHeap()
+
+
+def test_alloc_and_deref(heap):
+    obj = {"payload": 1}
+    ptr = heap.alloc(obj, "Widget")
+    assert ptr.deref() is obj
+    assert not ptr.freed
+    assert heap.live_count == 1
+
+
+def test_free_then_deref_is_uaf(heap):
+    ptr = heap.alloc("x", "Widget")
+    ptr.free()
+    assert ptr.freed
+    with pytest.raises(UseAfterFreeError):
+        ptr.deref()
+    assert heap.violations == ["use-after-free:Widget"]
+
+
+def test_uaf_carries_cve_tag(heap):
+    ptr = heap.alloc("x", "FetchRequest")
+    ptr.free()
+    with pytest.raises(UseAfterFreeError) as excinfo:
+        ptr.deref(cve="CVE-2018-5092")
+    assert excinfo.value.cve == "CVE-2018-5092"
+
+
+def test_double_free_raises(heap):
+    ptr = heap.alloc("x", "Widget")
+    ptr.free()
+    with pytest.raises(DoubleFreeError):
+        ptr.free()
+
+
+def test_null_deref_raises():
+    with pytest.raises(NullDerefError):
+        NULL.deref()
+    assert NULL.is_null
+
+
+def test_null_free_raises():
+    with pytest.raises(NullDerefError):
+        NULL.free()
+
+
+def test_counts(heap):
+    pointers = [heap.alloc(i, "Obj") for i in range(3)]
+    pointers[0].free()
+    assert heap.live_count == 2
+    assert heap.freed_count == 1
+
+
+def test_allocation_records_track_times():
+    times = iter([10, 20])
+    heap = SimHeap(time_fn=lambda: next(times))
+    ptr = heap.alloc("x", "Obj")
+    ptr.free()
+    record = heap._records[ptr.addr]
+    assert record.alloc_time == 10
+    assert record.free_time == 20
+
+
+def test_addresses_are_distinct(heap):
+    a = heap.alloc("a", "Obj")
+    b = heap.alloc("b", "Obj")
+    assert a.addr != b.addr

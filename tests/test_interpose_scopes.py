@@ -1,0 +1,133 @@
+"""Unit tests for interposition machinery and scopes."""
+
+import pytest
+
+from repro.errors import SecurityError
+from repro.runtime.interpose import Interposable
+from repro.runtime.origin import parse_url
+from repro.runtime.scopes import BaseScope, WorkerScope
+from repro.runtime.eventloop import EventLoop
+from repro.runtime.simulator import ExecutionFrame, Simulator
+
+
+class Thing(Interposable):
+    def __init__(self):
+        super().__init__()
+        self.value = 1
+
+
+def test_plain_attributes_assignable():
+    thing = Thing()
+    thing.value = 2
+    assert thing.value == 2
+
+
+def test_setter_trap_intercepts_assignment():
+    thing = Thing()
+    seen = []
+    thing.define_setter_trap("value", seen.append)
+    thing.value = 42
+    assert seen == [42]
+    assert thing.value == 1  # trap did not store
+
+
+def test_trap_can_store_via_set_raw():
+    thing = Thing()
+    thing.define_setter_trap("value", lambda v: thing.set_raw("value", v * 2))
+    thing.value = 21
+    assert thing.value == 42
+
+
+def test_sealed_attribute_rejects_assignment():
+    thing = Thing()
+    thing.seal_attribute("value")
+    with pytest.raises(SecurityError):
+        thing.value = 2
+    assert thing.sealed("value")
+
+
+def test_sealed_trap_still_runs_but_cannot_be_replaced():
+    thing = Thing()
+    seen = []
+    thing.define_setter_trap("value", seen.append)
+    thing.seal_attribute("value")
+    thing.value = 5  # assignment still goes through the trap
+    assert seen == [5]
+    with pytest.raises(SecurityError):
+        thing.define_setter_trap("value", lambda v: None)
+
+
+def test_set_raw_bypasses_seal():
+    thing = Thing()
+    thing.seal_attribute("value")
+    thing.set_raw("value", 99)
+    assert thing.value == 99
+
+
+def test_private_attributes_never_trapped():
+    thing = Thing()
+    thing._internal = 5  # no trap machinery for underscore names
+    assert thing._internal == 5
+
+
+# ----------------------------------------------------------------------
+# scopes
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def scope():
+    sim = Simulator()
+    loop = EventLoop(sim, "scope-test", task_dispatch_cost=0)
+    url = parse_url("https://app.example/")
+    return BaseScope(loop, url.origin, url)
+
+
+def test_scope_has_timer_apis(scope):
+    fired = []
+    scope.setTimeout(lambda: fired.append(1), 1)
+    scope.sim.run()
+    assert fired == [1]
+
+
+def test_scope_apis_are_redefinable(scope):
+    # a page may legitimately keep a backup copy and redefine (paper §III-B)
+    native = scope.setTimeout
+    calls = []
+
+    def wrapped(cb, delay=0, *args):
+        calls.append(delay)
+        return native(cb, delay, *args)
+
+    scope.setTimeout = wrapped
+    scope.setTimeout(lambda: None, 7)
+    assert calls == [7]
+
+
+def test_busy_work_consumes_scaled_time(scope):
+    frame = ExecutionFrame(0, "t")
+    scope.sim.push_frame(frame)
+    scope.busy_work(2.0)
+    assert frame.elapsed == 2_000_000
+    scope.js_cost_scale = 10.0
+    scope.busy_work(2.0)
+    assert frame.elapsed == 22_000_000
+    scope.sim.pop_frame()
+
+
+def test_scope_location(scope):
+    assert scope.location == "https://app.example/"
+
+
+def test_console_collects_lines(scope):
+    scope.console.log("a", 1)
+    assert scope.console.lines == ["a 1"]
+
+
+def test_worker_scope_onmessage_trap_is_native_by_default():
+    sim = Simulator()
+    loop = EventLoop(sim, "w", task_dispatch_cost=0)
+    url = parse_url("https://app.example/worker.js")
+    ws = WorkerScope(loop, url.origin, url)
+    handler = lambda event: None
+    ws.onmessage = handler
+    assert ws.onmessage is handler

@@ -1,0 +1,113 @@
+"""Tests for the JSKernel facade and configuration surface."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import JSKernel, KernelEvent, KernelEventQueue, SchedulingGrid
+from repro.kernel.kobjects import CANCELLED, READY
+from repro.kernel.policies import DeterministicSchedulingPolicy
+from repro.runtime import Browser, chrome
+from repro.runtime.simtime import ms
+
+
+def test_default_kernel_bundles_all_policies():
+    kernel = JSKernel()
+    assert kernel.policy.find("deterministic-scheduling")
+    for name in (
+        "worker-lifecycle",
+        "transfer-neuter",
+        "worker-xhr-origin",
+        "error-sanitizer",
+        "private-mode-storage",
+    ):
+        assert kernel.policy.find(name), name
+
+
+def test_kernel_without_cve_policies():
+    kernel = JSKernel(include_cve_policies=False)
+    assert kernel.policy.find("deterministic-scheduling")
+    assert kernel.policy.find("worker-lifecycle") is None
+
+
+def test_install_tracks_instances():
+    kernel = JSKernel()
+    browser = Browser(profile=chrome(), seed=1)
+    kernel.install(browser)
+    page_a = browser.open_page("https://a.example/")
+    page_b = browser.open_page("https://b.example/")
+    assert len(kernel.instances) == 2
+    assert kernel.instance_for(page_a) is page_a.jskernel
+    assert kernel.instance_for(page_b) is not kernel.instance_for(page_a)
+
+
+def test_instance_for_unknown_page_is_none():
+    kernel = JSKernel()
+    browser = Browser(profile=chrome(), seed=1)
+    kernel.install(browser)
+    other_browser = Browser(profile=chrome(), seed=2)
+    other_page = other_browser.open_page("https://x.example/")
+    assert kernel.instance_for(other_page) is None
+
+
+def test_custom_grid_changes_raf_slot():
+    kernel = JSKernel(grid=SchedulingGrid(grids_ns={"raf": ms(20)}))
+    browser = Browser(profile=chrome(), seed=1)
+    kernel.install(browser)
+    page = browser.open_page("https://x.example/")
+    timestamps = []
+
+    def script(scope):
+        scope.requestAnimationFrame(timestamps.append)
+
+    page.run_script(script)
+    browser.run(until=ms(200))
+    assert timestamps == [20.0]
+
+
+def test_single_policy_is_wrapped_in_composite():
+    kernel = JSKernel(policies=[DeterministicSchedulingPolicy()])
+    assert kernel.policy.find("deterministic-scheduling")
+
+
+# ----------------------------------------------------------------------
+# queue properties
+# ----------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["push", "pop", "cancel-head", "confirm-head"]),
+            st.integers(min_value=0, max_value=10**6),
+        ),
+        max_size=40,
+    )
+)
+def test_queue_pop_order_property(ops):
+    """Each pop returns the live minimum-predicted-time event, and
+    cancelled events never come out at all (model-based check)."""
+    queue = KernelEventQueue()
+    model = []  # live events, mirroring the queue
+    cancelled_ids = set()
+    for op, value in ops:
+        if op == "push":
+            event = queue.push(KernelEvent("k", value, {"default": lambda: None}))
+            model.append(event)
+        elif op == "pop":
+            event = queue.pop()
+            live = [e for e in model if e.id not in cancelled_ids]
+            if not live:
+                assert event is None
+            else:
+                expected = min(live, key=lambda e: (e.predicted_time, e.id))
+                assert event is expected
+                model.remove(event)
+        elif op == "cancel-head":
+            head = queue.top()
+            if head is not None:
+                head.cancel()
+                cancelled_ids.add(head.id)
+        elif op == "confirm-head":
+            head = queue.top()
+            if head is not None and head.status == "pending":
+                head.confirm()

@@ -1,0 +1,176 @@
+"""Unit tests for kernel objects: events, queue, clock, comm envelopes."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel import comm
+from repro.kernel.kclock import KernelClock, KernelPerformance
+from repro.kernel.kobjects import (
+    CANCELLED,
+    DISPATCHED,
+    PENDING,
+    READY,
+    KernelEvent,
+    KernelEventQueue,
+)
+from repro.runtime.simtime import ms, us
+from repro.runtime.simulator import Simulator
+
+
+# ----------------------------------------------------------------------
+# events
+# ----------------------------------------------------------------------
+
+def test_event_lifecycle_pending_ready():
+    event = KernelEvent("timeout", ms(5), {"default": lambda: None})
+    assert event.status == PENDING
+    event.confirm(args=(1, 2))
+    assert event.status == READY
+    assert event.args == (1, 2)
+    assert event.chosen_callback is not None
+
+
+def test_confirm_selects_callback_and_deletes_others():
+    """Paper §III-D1: onload fires -> onerror deleted from the event."""
+    onload, onerror = (lambda: "l"), (lambda: "e")
+    event = KernelEvent("dom", ms(5), {"onload": onload, "onerror": onerror})
+    event.confirm(which="onload")
+    assert event.chosen_callback is onload
+    assert list(event.callbacks) == ["onload"]
+
+
+def test_confirm_unknown_callback_raises():
+    event = KernelEvent("dom", 0, {"onload": lambda: None})
+    with pytest.raises(KernelError):
+        event.confirm(which="onerror")
+
+
+def test_cancel_before_and_after_confirm():
+    a = KernelEvent("timeout", 0)
+    a.cancel()
+    assert a.status == CANCELLED
+    a.confirm()  # confirm on cancelled: ignored
+    assert a.status == CANCELLED
+
+    b = KernelEvent("timeout", 0, {"default": lambda: None})
+    b.confirm()
+    b.cancel()
+    assert b.status == CANCELLED
+
+
+def test_double_confirm_raises():
+    event = KernelEvent("timeout", 0, {"default": lambda: None})
+    event.confirm()
+    with pytest.raises(KernelError):
+        event.confirm()
+
+
+# ----------------------------------------------------------------------
+# queue
+# ----------------------------------------------------------------------
+
+def test_queue_orders_by_predicted_time():
+    queue = KernelEventQueue()
+    late = queue.push(KernelEvent("a", ms(10)))
+    early = queue.push(KernelEvent("b", ms(1)))
+    assert queue.top() is early
+    assert queue.pop() is early
+    assert queue.pop() is late
+    assert queue.pop() is None
+
+
+def test_queue_lookup_and_remove():
+    queue = KernelEventQueue()
+    event = queue.push(KernelEvent("a", ms(1)))
+    assert queue.lookup(event.id) is event
+    queue.remove(event)
+    assert queue.lookup(event.id) is None
+    assert queue.top() is None
+
+
+def test_queue_skips_cancelled():
+    queue = KernelEventQueue()
+    first = queue.push(KernelEvent("a", ms(1)))
+    second = queue.push(KernelEvent("b", ms(2)))
+    first.cancel()
+    assert queue.top() is second
+    assert len(queue) == 1
+
+
+def test_pending_count():
+    queue = KernelEventQueue()
+    queue.push(KernelEvent("a", 1))
+    ready = queue.push(KernelEvent("b", 2, {"default": lambda: None}))
+    ready.confirm()
+    assert queue.pending_count == 1
+
+
+# ----------------------------------------------------------------------
+# kernel clock
+# ----------------------------------------------------------------------
+
+def test_kernel_clock_api_ticks_are_fixed():
+    clock = KernelClock(api_tick_ns=us(10))
+    clock.api_tick()
+    clock.api_tick()
+    assert clock.now == us(20)
+    assert clock.api_ticks == 2
+
+
+def test_kernel_clock_tick_to_never_goes_back():
+    clock = KernelClock()
+    clock.tick_to(ms(5))
+    clock.tick_to(ms(3))
+    assert clock.now == ms(5)
+
+
+def test_kernel_clock_display_quantizes():
+    clock = KernelClock(display_resolution_ns=ms(1))
+    clock.tick_by(ms(3) + 123_456)
+    assert clock.display_ns() == ms(3)
+    assert clock.display_ms() == 3.0
+
+
+def test_kernel_performance_advances_per_call():
+    sim = Simulator()
+    clock = KernelClock(api_tick_ns=us(10), display_resolution_ns=us(10))
+    perf = KernelPerformance(clock, sim)
+    first = perf.now()
+    second = perf.now()
+    # deterministic: exactly one tick apart, regardless of real time
+    assert second - first == pytest.approx(0.01)
+    assert perf.time_origin == 0.0
+
+
+# ----------------------------------------------------------------------
+# kernel/user message overlay
+# ----------------------------------------------------------------------
+
+def test_wrap_and_classify_user():
+    kind, payload, command = comm.classify(comm.wrap_user({"x": 1}))
+    assert kind == "user"
+    assert payload == {"x": 1}
+    assert command is None
+
+
+def test_wrap_and_classify_kernel():
+    kind, payload, command = comm.classify(comm.wrap_kernel("confirmFetch", 7))
+    assert kind == "kernel"
+    assert command == "confirmFetch"
+    assert payload == 7
+
+
+def test_raw_messages_pass_through():
+    kind, payload, _ = comm.classify("plain")
+    assert kind == "raw"
+    assert payload == "plain"
+
+
+def test_user_cannot_spoof_kernel_commands():
+    """A malicious page posting a kernel-shaped dict must stay user data."""
+    spoof = {comm.ENVELOPE_KEY: comm.TYPE_KERNEL, "command": "load-user-thread"}
+    wrapped = comm.wrap_user(spoof)
+    kind, payload, command = comm.classify(wrapped)
+    assert kind == "user"
+    assert command is None
+    assert payload == spoof

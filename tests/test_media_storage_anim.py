@@ -1,0 +1,160 @@
+"""Unit tests for CSS animations, the video clock and indexedDB."""
+
+import pytest
+
+from repro.errors import SecurityError
+from repro.runtime.clock import PerformanceClock
+from repro.runtime.cssanim import AnimationTimeline
+from repro.runtime.dom import Document
+from repro.runtime.eventloop import EventLoop
+from repro.runtime.media import VideoElement, WebVTTCue, make_cue_grid
+from repro.runtime.origin import Origin
+from repro.runtime.simtime import ms
+from repro.runtime.simulator import ExecutionFrame, Simulator
+from repro.runtime.storage import IndexedDBStore
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def timeline(sim):
+    return AnimationTimeline(PerformanceClock(sim))
+
+
+def in_frame(sim, start_ns):
+    frame = ExecutionFrame(start_ns, "t")
+    sim.push_frame(frame)
+    return frame
+
+
+# ----------------------------------------------------------------------
+# CSS animations
+# ----------------------------------------------------------------------
+
+def test_animation_progress_interpolates(sim, timeline):
+    doc = Document(sim)
+    el = doc.body.append_child(doc.create_element("div"))
+    in_frame(sim, 0)
+    animation = timeline.animate(el, "left", 0.0, 100.0, duration_ms=1000.0)
+    sim.pop_frame()
+    in_frame(sim, ms(250))
+    assert timeline.get_computed_style(el, "left") == pytest.approx(25.0, abs=0.5)
+    sim.pop_frame()
+    in_frame(sim, ms(2000))
+    assert timeline.get_computed_style(el, "left") == 100.0
+    assert animation.finished(2000.0)
+    sim.pop_frame()
+
+
+def test_cancelled_animation_returns_static_style(sim, timeline):
+    doc = Document(sim)
+    el = doc.body.append_child(doc.create_element("div"))
+    el.set_style("left", "42px")
+    in_frame(sim, 0)
+    animation = timeline.animate(el, "left", 0.0, 100.0, 1000.0)
+    timeline.cancel(animation)
+    assert timeline.get_computed_style(el, "left") == 42.0
+    sim.pop_frame()
+
+
+def test_any_running_prunes_finished(sim, timeline):
+    doc = Document(sim)
+    el = doc.body.append_child(doc.create_element("div"))
+    in_frame(sim, 0)
+    timeline.animate(el, "left", 0.0, 1.0, duration_ms=10.0)
+    assert timeline.any_running()
+    sim.pop_frame()
+    in_frame(sim, ms(50))
+    assert not timeline.any_running()
+    sim.pop_frame()
+
+
+# ----------------------------------------------------------------------
+# video / WebVTT
+# ----------------------------------------------------------------------
+
+def test_video_current_time_advances_only_while_playing(sim):
+    loop = EventLoop(sim, "media-test", task_dispatch_cost=0)
+    clock = PerformanceClock(sim)
+    video = VideoElement(loop, clock, duration_ms=60_000)
+    in_frame(sim, 0)
+    assert video.current_time == 0.0
+    video.play()
+    sim.pop_frame()
+    in_frame(sim, ms(500))
+    assert video.current_time == pytest.approx(0.5, abs=0.01)
+    video.pause()
+    sim.pop_frame()
+    in_frame(sim, ms(2000))
+    assert video.current_time == pytest.approx(0.5, abs=0.01)
+    sim.pop_frame()
+
+
+def test_cue_fires_at_start_time(sim):
+    loop = EventLoop(sim, "media-test", task_dispatch_cost=0)
+    video = VideoElement(loop, PerformanceClock(sim))
+    fired = []
+    cue = WebVTTCue(30.0, 40.0)
+    cue.on_enter = lambda c: fired.append(sim.dispatch_time)
+    video.add_cue(cue)
+    video.play()
+    sim.run(until=ms(200))
+    assert fired and fired[0] >= ms(30)
+
+
+def test_cue_grid_shape():
+    cues = make_cue_grid(10.0, 5)
+    assert len(cues) == 5
+    assert cues[3].start_ms == 30.0
+    assert cues[3].end_ms == 40.0
+
+
+# ----------------------------------------------------------------------
+# indexedDB
+# ----------------------------------------------------------------------
+
+ORIGIN = Origin("https", "site.example")
+
+
+def test_persistent_store_survives(sim):
+    store = IndexedDBStore(sim)
+    store.put(ORIGIN, "k", "v", private_mode=False)
+    assert store.get(ORIGIN, "k", private_mode=False) == "v"
+    assert store.persistent_size == 1
+
+
+def test_private_mode_is_ephemeral_when_correct(sim):
+    store = IndexedDBStore(sim, persist_private_writes=False)
+    store.put(ORIGIN, "k", "v", private_mode=True)
+    assert store.get(ORIGIN, "k", private_mode=True) == "v"
+    store.end_private_session()
+    assert store.get(ORIGIN, "k", private_mode=True) is None
+    assert store.persistent_size == 0
+
+
+def test_buggy_private_mode_persists(sim):
+    store = IndexedDBStore(sim, persist_private_writes=True)
+    store.put(ORIGIN, "k", "v", private_mode=True)
+    store.end_private_session()
+    assert store.get(ORIGIN, "k", private_mode=True) == "v"
+
+
+def test_private_data_isolated_per_origin(sim):
+    store = IndexedDBStore(sim)
+    other = Origin("https", "other.example")
+    store.put(ORIGIN, "k", "v", private_mode=False)
+    assert store.get(other, "k", private_mode=False) is None
+
+
+def test_policy_block_raises(sim):
+    store = IndexedDBStore(sim)
+    store.private_access_blocked = True
+    with pytest.raises(SecurityError):
+        store.put(ORIGIN, "k", "v", private_mode=True)
+    with pytest.raises(SecurityError):
+        store.get(ORIGIN, "k", private_mode=True)
+    # non-private access unaffected
+    store.put(ORIGIN, "k", "v", private_mode=False)

@@ -1,0 +1,131 @@
+"""Unit tests for postMessage channels and transferables."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.eventloop import EventLoop
+from repro.runtime.heap import SimHeap
+from repro.runtime.messaging import make_channel, payload_size
+from repro.runtime.sharedbuf import SimArrayBuffer
+from repro.runtime.simulator import Simulator
+
+
+@pytest.fixture
+def channel():
+    sim = Simulator()
+    loop_a = EventLoop(sim, "a", task_dispatch_cost=0)
+    loop_b = EventLoop(sim, "b", task_dispatch_cost=0)
+    side_a, side_b = make_channel("test", loop_a, loop_b, latency_ns=100_000)
+    return sim, side_a, side_b
+
+
+def test_message_delivered_after_latency(channel):
+    sim, side_a, side_b = channel
+    seen = []
+    side_b.add_handler(lambda event: seen.append((event.data, sim.dispatch_time)))
+    side_a.post("hello")
+    sim.run()
+    assert seen[0][0] == "hello"
+    assert seen[0][1] >= 100_000
+
+
+def test_messages_preserve_order(channel):
+    sim, side_a, side_b = channel
+    seen = []
+    side_b.add_handler(lambda event: seen.append(event.data))
+    for i in range(5):
+        side_a.post(i)
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_bidirectional(channel):
+    sim, side_a, side_b = channel
+    seen = []
+    side_b.add_handler(lambda event: side_b.post(event.data + 1))
+    side_a.add_handler(lambda event: seen.append(event.data))
+    side_a.post(1)
+    sim.run()
+    assert seen == [2]
+
+
+def test_closed_endpoint_drops_messages(channel):
+    sim, side_a, side_b = channel
+    seen = []
+    side_b.add_handler(seen.append)
+    side_b.close()
+    side_a.post("lost")
+    sim.run()
+    assert seen == []
+
+
+def test_messages_in_flight_dropped_when_receiver_closes(channel):
+    sim, side_a, side_b = channel
+    seen = []
+    side_b.add_handler(lambda event: seen.append(event.data))
+    side_a.post("in-flight")
+    side_b.close()  # closes before the delivery task runs
+    sim.run()
+    assert seen == []
+
+
+def test_unconnected_endpoint_raises():
+    sim = Simulator()
+    loop = EventLoop(sim, "solo")
+    from repro.runtime.messaging import MessageEndpoint
+
+    endpoint = MessageEndpoint("solo", loop, 0)
+    with pytest.raises(SimulationError):
+        endpoint.post("x")
+
+
+def test_transfer_detaches_sender_and_views_share_store(channel):
+    sim, side_a, side_b = channel
+    heap = SimHeap()
+    buffer = SimArrayBuffer(heap, 64)
+    buffer.write(0, 0x7F)
+    received = []
+    side_b.add_handler(lambda event: received.extend(event.transferred))
+    side_a.post("take", transfer=[buffer])
+    sim.run()
+    assert buffer.detached
+    view = received[0]
+    assert not view.detached
+    assert view.read(0) == 0x7F
+    assert view.ptr is buffer.ptr
+
+
+def test_non_transferable_raises(channel):
+    _sim, side_a, _side_b = channel
+    with pytest.raises(SimulationError):
+        side_a.post("x", transfer=[object()])
+
+
+def test_remove_and_clear_handlers(channel):
+    sim, side_a, side_b = channel
+    seen = []
+    handler = seen.append
+    side_b.add_handler(handler)
+    side_b.remove_handler(handler)
+    side_a.post("x")
+    sim.run()
+    assert seen == []
+
+
+def test_payload_size_estimates():
+    assert payload_size(None) == 1
+    assert payload_size(3.14) == 8
+    assert payload_size("abcd") == 4
+    assert payload_size([1, 2]) == 8 + 16
+    assert payload_size({"k": "vv"}) == 8 + 1 + 2
+    heap = SimHeap()
+    assert payload_size(SimArrayBuffer(heap, 256)) == 256
+
+
+def test_messages_carry_origin(channel):
+    sim, side_a, side_b = channel
+    seen = []
+    side_b.add_handler(lambda event: seen.append(event.origin))
+    side_a.post("x", origin="https://sender.example")
+    sim.run()
+    assert seen == ["https://sender.example"]

@@ -1,0 +1,118 @@
+"""Unit tests for the simulated network and HTTP cache."""
+
+import random
+
+import pytest
+
+from repro.runtime.eventloop import EventLoop
+from repro.runtime.network import Resource, SimNetwork
+from repro.runtime.origin import parse_url
+from repro.runtime.simtime import ms
+from repro.runtime.simulator import Simulator
+
+
+@pytest.fixture
+def net():
+    sim = Simulator()
+    loop = EventLoop(sim, "net-test", task_dispatch_cost=0)
+    network = SimNetwork(random.Random(1), base_latency_ns=ms(8), jitter_ns=0,
+                         bandwidth_bytes_per_ms=1_000)
+    return sim, loop, network
+
+
+URL = parse_url("https://cdn.example/lib.js")
+
+
+def test_completion_includes_latency_and_transfer(net):
+    sim, loop, network = net
+    network.host_simple(URL, 10_000)  # 10 KB at 1 KB/ms = 10 ms
+    done = {}
+    network.request(loop, URL, lambda response: done.__setitem__("at", sim.dispatch_time))
+    sim.run()
+    assert done["at"] >= ms(18)
+
+
+def test_missing_resource_is_404(net):
+    sim, loop, network = net
+    responses = []
+    network.request(loop, parse_url("https://cdn.example/missing"), responses.append)
+    sim.run()
+    assert responses[0].status == 404
+    assert not responses[0].ok
+
+
+def test_cache_miss_then_hit(net):
+    sim, loop, network = net
+    network.host_simple(URL, 10_000)
+    assert not network.is_cached(URL)
+    times = []
+    network.request(loop, URL, lambda r: times.append((sim.dispatch_time, r.from_cache)))
+    sim.run()
+    assert network.is_cached(URL)
+    start = sim.dispatch_time
+    network.request(loop, URL, lambda r: times.append((sim.dispatch_time - start, r.from_cache)))
+    sim.run()
+    assert times[0][1] is False
+    assert times[1][1] is True
+    assert times[1][0] < ms(1)  # cache hits are near-instant
+
+
+def test_prime_and_flush_cache(net):
+    _sim, _loop, network = net
+    network.host_simple(URL, 100)
+    network.prime_cache(URL)
+    assert network.is_cached(URL)
+    network.flush_cache(URL)
+    assert not network.is_cached(URL)
+    network.prime_cache(URL)
+    network.flush_cache()
+    assert not network.is_cached(URL)
+
+
+def test_cancel_prevents_completion(net):
+    sim, loop, network = net
+    network.host_simple(URL, 100)
+    responses = []
+    request = network.request(loop, URL, responses.append)
+    request.cancel()
+    sim.run()
+    assert responses == []
+    assert request.cancelled
+
+
+def test_cancel_after_completion_is_noop(net):
+    sim, loop, network = net
+    network.host_simple(URL, 100)
+    responses = []
+    request = network.request(loop, URL, responses.append)
+    sim.run()
+    request.cancel()
+    assert responses and not request.cancelled
+
+
+def test_redirect_resource_reports_final_url(net):
+    sim, loop, network = net
+    final = parse_url("https://other.example/landing")
+    network.host(Resource(URL, 100, redirect_to=final))
+    responses = []
+    network.request(loop, URL, responses.append)
+    sim.run()
+    assert responses[0].final_url == final
+
+
+def test_jitter_draws_from_seeded_rng():
+    sim = Simulator()
+    loop = EventLoop(sim, "t", task_dispatch_cost=0)
+
+    def run_with_seed(seed):
+        network = SimNetwork(random.Random(seed), base_latency_ns=ms(8), jitter_ns=ms(4),
+                             bandwidth_bytes_per_ms=1_000)
+        network.host_simple(URL, 0)
+        return network._completion_delay(URL, network.lookup(URL), use_cache=False)
+
+    assert run_with_seed(1) == run_with_seed(1)
+
+
+def test_transfer_time_scales_with_size(net):
+    _sim, _loop, network = net
+    assert network.transfer_time(2_000) == 2 * network.transfer_time(1_000)

@@ -1,0 +1,66 @@
+"""Unit tests for origins, URLs and the same-origin policy."""
+
+import pytest
+
+from repro.runtime.origin import Origin, URL, parse_url, same_origin
+
+
+def test_parse_absolute_url():
+    url = parse_url("https://example.com/path/to/thing")
+    assert url.origin.scheme == "https"
+    assert url.origin.host == "example.com"
+    assert url.origin.port == 443
+    assert url.path == "/path/to/thing"
+
+
+def test_parse_url_with_port():
+    url = parse_url("http://localhost:8080/app")
+    assert url.origin.port == 8080
+    assert url.serialize() == "http://localhost:8080/app"
+
+
+def test_default_port_omitted_in_serialization():
+    assert parse_url("https://a.com/x").origin.serialize() == "https://a.com"
+    assert parse_url("http://a.com/x").origin.serialize() == "http://a.com"
+
+
+def test_parse_bare_host():
+    url = parse_url("https://example.com")
+    assert url.path == "/"
+
+
+def test_relative_absolute_path():
+    base = parse_url("https://example.com/dir/page.html")
+    url = parse_url("/other.js", base=base)
+    assert url.serialize() == "https://example.com/other.js"
+
+
+def test_relative_sibling_path():
+    base = parse_url("https://example.com/dir/page.html")
+    url = parse_url("asset.js", base=base)
+    assert url.serialize() == "https://example.com/dir/asset.js"
+
+
+def test_relative_without_base_raises():
+    with pytest.raises(ValueError):
+        parse_url("relative.js")
+
+
+def test_same_origin_requires_scheme_host_port():
+    a = Origin("https", "example.com")
+    assert same_origin(a, Origin("https", "example.com"))
+    assert not same_origin(a, Origin("http", "example.com"))
+    assert not same_origin(a, Origin("https", "other.com"))
+    assert not same_origin(a, Origin("https", "example.com", 8443))
+
+
+def test_origin_hashable_and_eq():
+    a = Origin("https", "example.com")
+    b = Origin("https", "example.com", 443)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1
+
+
+def test_url_equality():
+    assert parse_url("https://a.com/x") == URL(Origin("https", "a.com"), "/x")

@@ -1,0 +1,179 @@
+"""Integration tests for Page and Browser wiring."""
+
+import pytest
+
+from repro.runtime import Browser, by_name, chrome, edge, firefox, vulnerable
+from repro.runtime.network import Resource
+from repro.runtime.origin import parse_url
+from repro.runtime.profiles import ALL_BUGS
+from repro.runtime.simtime import ms
+
+
+def test_browser_profiles_have_distinct_characteristics():
+    c, f, e = chrome(), firefox(), edge()
+    assert c.clock_resolution_ns < f.clock_resolution_ns
+    assert e.frame_interval_ns > c.frame_interval_ns
+    assert by_name("chrome").name == "chrome"
+    with pytest.raises(KeyError):
+        by_name("netscape")
+
+
+def test_vulnerable_profile_enables_all_bugs():
+    profile = vulnerable("firefox")
+    for flag in ALL_BUGS:
+        assert profile.has_bug(flag)
+    assert not chrome().has_bug("cve_2018_5092")
+
+
+def test_profile_clone_overrides():
+    base = chrome()
+    clone = base.clone(name="custom", task_dispatch_cost=1)
+    assert clone.name == "custom"
+    assert clone.task_dispatch_cost == 1
+    assert base.task_dispatch_cost != 1
+    clone.bugs["x"] = True
+    assert not base.bugs.get("x")
+
+
+def test_page_script_sees_window_apis(browser, page):
+    seen = {}
+
+    def script(scope):
+        seen["now"] = scope.performance.now()
+        seen["has_document"] = scope.document is not None
+        seen["has_fetch"] = callable(scope.fetch)
+        seen["has_worker"] = callable(scope.Worker)
+
+    page.run_script(script)
+    browser.run(until=ms(10))
+    assert seen["has_document"] and seen["has_fetch"] and seen["has_worker"]
+
+
+def test_script_element_load_fires_after_transfer_and_parse(browser, page):
+    browser.network.host_simple(
+        parse_url("https://app.example/app.js"), 12_000, body=lambda scope: None
+    )
+    events = {}
+
+    def script(scope):
+        el = scope.document.create_element("script")
+        el.onload = lambda: events.__setitem__("loaded_at", browser.sim.now)
+        scope.document.body.append_child(el)
+        el.set_attribute("src", "/app.js")
+
+    page.run_script(script)
+    browser.run(until=ms(5_000))
+    # network (8ms + 10ms transfer) + parse (12KB * 90ns ~ 1.1ms)
+    assert events["loaded_at"] > ms(18)
+
+
+def test_failed_load_fires_onerror(browser, page):
+    events = []
+
+    def script(scope):
+        el = scope.document.create_element("img")
+        el.onload = lambda: events.append("load")
+        el.onerror = lambda: events.append("error")
+        scope.document.body.append_child(el)
+        el.set_attribute("src", "/missing.png")
+
+    page.run_script(script)
+    browser.run(until=ms(1_000))
+    assert events == ["error"]
+
+
+def test_page_load_event_waits_for_subresources(browser, page):
+    browser.network.host_simple(parse_url("https://app.example/a.js"), 6_000,
+                                body=lambda s: None)
+    browser.network.host_simple(parse_url("https://app.example/b.png"), 3_000)
+    order = []
+
+    def script(scope):
+        for path, tag in (("/a.js", "script"), ("/b.png", "img")):
+            el = scope.document.create_element(tag)
+            el.onload = lambda p=path: order.append(p)
+            scope.document.body.append_child(el)
+            el.set_attribute("src", path)
+        page.arm_load_event()
+
+    page.on_load(lambda: order.append("load-event"))
+    page.run_script(script)
+    browser.run(until=ms(5_000))
+    assert order[-1] == "load-event"
+    assert set(order[:-1]) == {"/a.js", "/b.png"}
+    assert page.loaded and page.load_time_ns is not None
+
+
+def test_window_self_post_message(browser, page):
+    seen = []
+
+    def script(scope):
+        scope.onmessage = lambda event: seen.append(event.data)
+        scope.postMessage("loop")
+
+    page.run_script(script)
+    browser.run(until=ms(50))
+    assert seen == ["loop"]
+
+
+def test_history_visited(browser):
+    browser.visit("https://a.example/")
+    assert browser.is_visited("https://a.example/")
+    assert not browser.is_visited("https://b.example/")
+
+
+def test_private_page_isolated_storage(browser):
+    normal = browser.open_page("https://site.example/")
+    private = browser.open_page("https://site.example/", private=True)
+    box = {}
+    normal.run_script(lambda scope: scope.indexedDB.put("k", "v"))
+    private.run_script(lambda scope: box.__setitem__("private", scope.indexedDB.get("k")))
+    browser.run(until=ms(10))
+    assert box["private"] is None  # private mode cannot read normal data
+
+
+def test_chunked_processing_yields_to_timers(browser, page):
+    """A long decode must interleave with timers (progressive decoding)."""
+    from repro.runtime.svgfilter import SimImage
+
+    browser.network.host(
+        Resource(
+            parse_url("https://app.example/big.png"),
+            90_000,
+            "image/png",
+            body=SimImage(2500, 2500),
+        )
+    )
+    ticks = []
+
+    def script(scope):
+        def tick():
+            ticks.append(browser.sim.now)
+            scope.setTimeout(tick, 1)
+
+        scope.setTimeout(tick, 1)
+        el = scope.document.create_element("img")
+        el.onload = lambda: ticks.append("done")
+        scope.document.body.append_child(el)
+        el.set_attribute("src", "/big.png")
+
+    page.run_script(script)
+    browser.run(until=ms(400))
+    done_index = ticks.index("done")
+    assert done_index > 5  # several ticks ran during the ~16ms decode
+
+
+def test_fragility_injects_load_failures(browser, page):
+    page.load_failure_rate = 1.0
+    browser.network.host_simple(parse_url("https://app.example/x.png"), 100)
+    events = []
+
+    def script(scope):
+        el = scope.document.create_element("img")
+        el.onerror = lambda: events.append("error")
+        scope.document.body.append_child(el)
+        el.set_attribute("src", "/x.png")
+
+    page.run_script(script)
+    browser.run(until=ms(1_000))
+    assert events == ["error"]

@@ -1,0 +1,155 @@
+"""Unit tests for the policy model and the built-in policies."""
+
+import pytest
+
+from repro.errors import PolicyError, SecurityError
+from repro.kernel.policies import (
+    DeterministicSchedulingPolicy,
+    ErrorSanitizerPolicy,
+    FuzzySchedulingPolicy,
+    PrivateModeStoragePolicy,
+    TransferNeuterPolicy,
+    WorkerLifecyclePolicy,
+    WorkerXhrOriginPolicy,
+    all_cve_policies,
+)
+from repro.kernel.policy import CompositePolicy, Policy, SchedulingGrid
+from repro.kernel.space import KernelSpace
+from repro.runtime.eventloop import EventLoop
+from repro.runtime.heap import SimHeap
+from repro.runtime.origin import Origin, parse_url
+from repro.runtime.sharedbuf import SimArrayBuffer
+from repro.runtime.simtime import ms
+from repro.runtime.simulator import Simulator
+
+
+def make_kspace(policy):
+    sim = Simulator()
+    loop = EventLoop(sim, "p", task_dispatch_cost=0)
+    return KernelSpace(loop, policy, SchedulingGrid(), label="p")
+
+
+def test_base_policy_is_passthrough():
+    policy = Policy()
+    assert policy.predict("timeout", None) is None
+    assert policy.on_worker_terminate_request(None) is False
+    assert policy.on_error_event(None, "msg", True) == "msg"
+    assert policy.allow_storage_access(None) is True
+
+
+def test_composite_requires_policies():
+    with pytest.raises(PolicyError):
+        CompositePolicy([])
+
+
+def test_composite_predict_first_wins():
+    class A(Policy):
+        def predict(self, kind, kspace, hint=None):
+            return 111
+
+    class B(Policy):
+        def predict(self, kind, kspace, hint=None):
+            return 222
+
+    composite = CompositePolicy([A(), B()])
+    assert composite.predict("timeout", None) == 111
+
+
+def test_composite_terminate_any_claims():
+    composite = CompositePolicy([Policy(), WorkerLifecyclePolicy()])
+    assert composite.on_worker_terminate_request(None) is True
+
+
+def test_composite_error_filters_compose():
+    composite = CompositePolicy([ErrorSanitizerPolicy(), Policy()])
+    assert composite.on_error_event(None, "leak", True) == "Script error."
+    assert composite.on_error_event(None, "fine", False) == "fine"
+
+
+def test_composite_storage_all_must_allow():
+    class Deny(Policy):
+        def allow_storage_access(self, page):
+            return False
+
+    assert CompositePolicy([Policy(), Deny()]).allow_storage_access(None) is False
+
+
+def test_composite_find_by_name():
+    composite = CompositePolicy(all_cve_policies())
+    assert composite.find("worker-lifecycle") is not None
+    assert composite.find("nonexistent") is None
+
+
+def test_deterministic_predictions_are_pure():
+    policy = DeterministicSchedulingPolicy()
+    kspace = make_kspace(CompositePolicy([policy]))
+    a = policy.predict("raf", kspace)
+    b = policy.predict("raf", kspace)
+    assert a == b == ms(10)
+
+
+def test_fuzzy_predictions_jitter_but_stay_monotone_per_grid():
+    policy = FuzzySchedulingPolicy()
+    kspace = make_kspace(CompositePolicy([policy]))
+    values = {policy.predict("timeout", kspace, hint=ms(5)) for _ in range(20)}
+    assert len(values) > 1  # jitter present
+    assert all(v >= ms(5) for v in values)
+
+
+def test_fuzzy_rejects_bad_fraction():
+    with pytest.raises(ValueError):
+        FuzzySchedulingPolicy(jitter_fraction=1.5)
+
+
+def test_worker_xhr_origin_policy_vetoes_cross_origin():
+    policy = WorkerXhrOriginPolicy()
+    info = {
+        "url": "https://victim.example/x",
+        "origin": Origin("https", "app.example"),
+        "base_url": parse_url("https://app.example/w.js"),
+    }
+    with pytest.raises(SecurityError):
+        policy.on_api_call("worker.xhr.send", None, info)
+    # same-origin passes
+    info["url"] = "/same"
+    policy.on_api_call("worker.xhr.send", None, info)
+    # other APIs ignored
+    policy.on_api_call("fetch", None, {})
+
+
+def test_transfer_neuter_policy_detaches():
+    policy = TransferNeuterPolicy()
+    buffer = SimArrayBuffer(SimHeap(), 16)
+    policy.on_worker_message(None, "to_worker_transfer", [buffer])
+    assert buffer.detached
+    # other directions untouched
+    other = SimArrayBuffer(SimHeap(), 16)
+    policy.on_worker_message(None, "to_parent", [other])
+    assert not other.detached
+
+
+def test_private_mode_storage_policy():
+    policy = PrivateModeStoragePolicy()
+
+    class FakePage:
+        private_mode = True
+
+    assert policy.allow_storage_access(FakePage()) is False
+    FakePage.private_mode = False
+    assert policy.allow_storage_access(FakePage()) is True
+
+
+def test_all_cve_policies_cover_twelve_cves():
+    covered = set()
+    for policy in all_cve_policies():
+        covered.update(policy.cves)
+    assert len(covered) == 12
+
+
+def test_scheduling_grid_defaults():
+    grid = SchedulingGrid()
+    assert grid.grid_for("message") == ms(1)
+    assert grid.grid_for("raf") == ms(10)
+    assert grid.grid_for("unknown-kind") == grid.grid_for("generic")
+    assert grid.is_spaced("message")
+    assert not grid.is_spaced("raf")

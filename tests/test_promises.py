@@ -1,0 +1,150 @@
+"""Unit tests for SimPromise microtask semantics."""
+
+import pytest
+
+from repro.runtime.eventloop import EventLoop
+from repro.runtime.promises import FULFILLED, PENDING, REJECTED, SimPromise
+from repro.runtime.simulator import Simulator
+
+
+@pytest.fixture
+def loop():
+    sim = Simulator()
+    return EventLoop(sim, "promise-test")
+
+
+def run(loop):
+    loop.sim.run()
+
+
+def test_then_receives_value(loop):
+    seen = []
+    promise = SimPromise(loop)
+    promise.then(seen.append)
+    promise.resolve(42)
+    run(loop)
+    assert seen == [42]
+
+
+def test_reactions_are_asynchronous(loop):
+    order = []
+    promise = SimPromise.resolved(loop, "v")
+
+    def task():
+        promise.then(lambda _v: order.append("reaction"))
+        order.append("sync")
+
+    loop.post(task)
+    run(loop)
+    assert order == ["sync", "reaction"]
+
+
+def test_catch_handles_rejection(loop):
+    seen = []
+    promise = SimPromise(loop)
+    promise.catch(seen.append)
+    promise.reject("boom")
+    run(loop)
+    assert seen == ["boom"]
+
+
+def test_chaining_transforms_values(loop):
+    seen = []
+    promise = SimPromise(loop)
+    promise.then(lambda v: v + 1).then(lambda v: v * 10).then(seen.append)
+    promise.resolve(1)
+    run(loop)
+    assert seen == [20]
+
+
+def test_thrown_exception_rejects_chain(loop):
+    seen = []
+
+    def boom(_v):
+        raise ValueError("nope")
+
+    promise = SimPromise(loop)
+    promise.then(boom).catch(lambda reason: seen.append(type(reason).__name__))
+    promise.resolve(1)
+    run(loop)
+    assert seen == ["ValueError"]
+
+
+def test_rejection_passes_through_then_without_handler(loop):
+    seen = []
+    promise = SimPromise(loop)
+    promise.then(lambda v: v).catch(seen.append)
+    promise.reject("reason")
+    run(loop)
+    assert seen == ["reason"]
+
+
+def test_settling_twice_is_ignored(loop):
+    seen = []
+    promise = SimPromise(loop)
+    promise.then(seen.append, lambda r: seen.append(("rejected", r)))
+    promise.resolve("first")
+    promise.resolve("second")
+    promise.reject("third")
+    run(loop)
+    assert seen == ["first"]
+    assert promise.state == FULFILLED
+
+
+def test_resolving_with_promise_adopts_its_state(loop):
+    seen = []
+    inner = SimPromise(loop)
+    outer = SimPromise(loop)
+    outer.then(seen.append)
+    outer.resolve(inner)
+    assert outer.state == PENDING
+    inner.resolve("inner-value")
+    run(loop)
+    assert seen == ["inner-value"]
+
+
+def test_finally_runs_on_both_paths(loop):
+    ran = []
+    ok = SimPromise.resolved(loop, 1)
+    ok.finally_(lambda: ran.append("ok"))
+    bad = SimPromise.rejected_with(loop, RuntimeError("x"))
+    bad.finally_(lambda: ran.append("bad")).catch(lambda _r: None)
+    run(loop)
+    assert sorted(ran) == ["bad", "ok"]
+
+
+def test_promise_all_collects_in_order(loop):
+    seen = []
+    a, b, c = SimPromise(loop), SimPromise(loop), SimPromise(loop)
+    SimPromise.all(loop, [a, b, c]).then(seen.append)
+    b.resolve(2)
+    a.resolve(1)
+    c.resolve(3)
+    run(loop)
+    assert seen == [[1, 2, 3]]
+
+
+def test_promise_all_rejects_on_first_failure(loop):
+    seen = []
+    a, b = SimPromise(loop), SimPromise(loop)
+    SimPromise.all(loop, [a, b]).catch(seen.append)
+    b.reject("fail")
+    run(loop)
+    assert seen == ["fail"]
+    assert a.state == PENDING
+
+
+def test_promise_all_empty_resolves_immediately(loop):
+    seen = []
+    SimPromise.all(loop, []).then(seen.append)
+    run(loop)
+    assert seen == [[]]
+
+
+def test_reaction_cost_consumes_virtual_time(loop):
+    sim = loop.sim
+    times = {}
+    promise = SimPromise.resolved(loop, None)
+    promise.then(lambda _v: times.__setitem__("at", sim.now))
+    run(loop)
+    assert times["at"] > 0  # carrier task dispatch + reaction cost

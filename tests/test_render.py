@@ -1,0 +1,123 @@
+"""Unit tests for the renderer and requestAnimationFrame."""
+
+import pytest
+
+from repro.runtime.dom import Document
+from repro.runtime.eventloop import EventLoop
+from repro.runtime.render import RenderCosts, Renderer
+from repro.runtime.simtime import FRAME_INTERVAL, ms
+from repro.runtime.simulator import Simulator
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    loop = EventLoop(sim, "render-test", task_dispatch_cost=0)
+    doc = Document(sim)
+    renderer = Renderer(loop, doc)
+    return sim, loop, doc, renderer
+
+
+def test_raf_fires_on_next_vsync(setup):
+    sim, _loop, _doc, renderer = setup
+    seen = []
+    renderer.request_animation_frame(seen.append)
+    sim.run(until=ms(100))
+    assert len(seen) == 1
+    assert renderer.frame_log[0][0] == FRAME_INTERVAL
+
+
+def test_raf_chain_runs_at_frame_rate(setup):
+    sim, _loop, _doc, renderer = setup
+    timestamps = []
+
+    def frame(ts):
+        timestamps.append(ts)
+        if len(timestamps) < 4:
+            renderer.request_animation_frame(frame)
+
+    renderer.request_animation_frame(frame)
+    sim.run(until=ms(200))
+    deltas = [timestamps[i + 1] - timestamps[i] for i in range(3)]
+    for delta in deltas:
+        assert delta == pytest.approx(FRAME_INTERVAL / 1e6, rel=0.01)
+
+
+def test_cancel_animation_frame(setup):
+    sim, _loop, _doc, renderer = setup
+    seen = []
+    raf_id = renderer.request_animation_frame(seen.append)
+    renderer.cancel_animation_frame(raf_id)
+    sim.run(until=ms(100))
+    assert seen == []
+
+
+def test_no_work_means_no_frames(setup):
+    sim, _loop, doc, renderer = setup
+    doc.dirty = False
+    sim.run(until=ms(100))
+    assert renderer.frames_rendered == 0
+
+
+def test_dirty_document_produces_one_frame(setup):
+    sim, _loop, doc, renderer = setup
+    doc.mark_dirty()
+    renderer.pump()
+    sim.run(until=ms(100))
+    assert renderer.frames_rendered == 1
+    assert not doc.dirty
+
+
+def test_heavy_paint_delays_next_frame(setup):
+    sim, _loop, doc, renderer = setup
+    element = doc.body.append_child(doc.create_element("canvas"))
+    timestamps = []
+
+    def frame(ts):
+        timestamps.append(ts)
+        if len(timestamps) == 1:
+            element.pending_paint_cost = ms(30)  # blows the frame budget
+            doc.mark_dirty()
+        if len(timestamps) < 3:
+            renderer.request_animation_frame(frame)
+
+    renderer.request_animation_frame(frame)
+    sim.run(until=ms(300))
+    # the 30ms paint lands in frame 1, pushing frame 2 well past a vsync
+    assert timestamps[1] - timestamps[0] > 25.0
+
+
+def test_pending_paint_cost_consumed_once(setup):
+    sim, _loop, doc, renderer = setup
+    element = doc.body.append_child(doc.create_element("canvas"))
+    element.pending_paint_cost = ms(5)
+    doc.mark_dirty()
+    renderer.pump()
+    sim.run(until=ms(100))
+    assert element.pending_paint_cost == 0
+
+
+def test_visited_links_increase_style_cost(setup):
+    sim, loop, doc, renderer = setup
+    renderer.visited_fn = lambda href: href == "https://visited.example/"
+    for href in ("https://visited.example/", "https://other.example/"):
+        link = doc.body.append_child(doc.create_element("a"))
+        link.attributes["href"] = href
+    doc.mark_dirty()
+    renderer.pump()
+    sim.run(until=ms(100))
+    visited_flags = [el.matched_visited for el in doc.get_elements_by_tag("a")]
+    assert visited_flags == [True, False]
+
+
+def test_animation_driver_keeps_frames_coming(setup):
+    sim, _loop, doc, renderer = setup
+    doc.dirty = False
+
+    def driver():
+        return renderer.frames_rendered < 3
+
+    renderer.animation_drivers.append(driver)
+    renderer.pump()
+    sim.run(until=ms(200))
+    assert renderer.frames_rendered >= 2

@@ -1,0 +1,100 @@
+"""Unit tests for ArrayBuffers and the SharedArrayBuffer counter timer."""
+
+import pytest
+
+from repro.errors import SimulationError, UseAfterFreeError
+from repro.runtime.heap import SimHeap
+from repro.runtime.sharedbuf import SharedCounterBuffer, SimArrayBuffer, make_timer_pair
+from repro.runtime.simtime import ms
+from repro.runtime.simulator import ExecutionFrame, Simulator
+
+
+def test_array_buffer_read_write():
+    buffer = SimArrayBuffer(SimHeap(), 64)
+    buffer.write(3, 0xAB)
+    assert buffer.read(3) == 0xAB
+
+
+def test_detached_buffer_rejects_access():
+    buffer = SimArrayBuffer(SimHeap(), 64)
+    buffer.detach()
+    with pytest.raises(SimulationError):
+        buffer.read(0)
+    with pytest.raises(SimulationError):
+        buffer.write(0, 1)
+
+
+def test_freed_backing_store_is_uaf():
+    buffer = SimArrayBuffer(SimHeap(), 64)
+    buffer.ptr.free()
+    with pytest.raises(UseAfterFreeError):
+        buffer.read(0)
+
+
+def test_transferred_view_shares_store():
+    buffer = SimArrayBuffer(SimHeap(), 64)
+    buffer.write(0, 7)
+    view = buffer.transferred_view()
+    buffer.detach()
+    assert view.read(0) == 7
+    view.write(0, 9)
+    # new view of the same store still sees the write
+    assert buffer.ptr.deref()[0] == 9
+
+
+def test_counter_tracks_rate_activity():
+    sim = Simulator()
+    counter = SharedCounterBuffer(sim)
+    frame = ExecutionFrame(0, "w")
+    sim.push_frame(frame)
+    counter.start_increment_activity(rate_per_ms=1000.0)
+    sim.pop_frame()
+    frame = ExecutionFrame(ms(5), "r")
+    sim.push_frame(frame)
+    assert counter.load() == pytest.approx(5000, abs=10)
+    sim.pop_frame()
+
+
+def test_counter_freezes_when_stopped():
+    sim = Simulator()
+    counter = SharedCounterBuffer(sim)
+    frame = ExecutionFrame(0, "w")
+    sim.push_frame(frame)
+    counter.start_increment_activity(1000.0)
+    sim.pop_frame()
+    frame = ExecutionFrame(ms(3), "w")
+    sim.push_frame(frame)
+    counter.stop_increment_activity()
+    sim.pop_frame()
+    frame = ExecutionFrame(ms(10), "r")
+    sim.push_frame(frame)
+    assert counter.load() == pytest.approx(3000, abs=10)
+    sim.pop_frame()
+
+
+def test_store_resets_counter():
+    sim = Simulator()
+    counter = SharedCounterBuffer(sim)
+    counter.store(42)
+    assert counter.load_raw() == 42
+    assert not counter.incrementing
+
+
+def test_restarting_activity_accumulates():
+    sim = Simulator()
+    counter = SharedCounterBuffer(sim)
+    frame = ExecutionFrame(0, "w")
+    sim.push_frame(frame)
+    counter.start_increment_activity(1000.0)
+    frame.consume(ms(2))
+    counter.start_increment_activity(2000.0)  # implicit stop + restart
+    frame.consume(ms(1))
+    assert counter.load_raw() == pytest.approx(2000 + 2000, abs=20)
+    sim.pop_frame()
+
+
+def test_make_timer_pair():
+    sim = Simulator()
+    counter, flag = make_timer_pair(sim)
+    assert counter is not flag
+    assert counter.load_raw() == 0

@@ -1,0 +1,72 @@
+"""Unit tests for virtual-time helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime.simtime import (
+    FRAME_INTERVAL,
+    MS,
+    SECOND,
+    US,
+    format_ns,
+    ms,
+    quantize,
+    seconds,
+    to_ms,
+    us,
+)
+
+
+def test_unit_constants_are_consistent():
+    assert MS == 1000 * US
+    assert SECOND == 1000 * MS
+    assert FRAME_INTERVAL == 16_666_667
+
+
+def test_ms_conversion_roundtrip():
+    assert ms(1) == MS
+    assert ms(0.5) == MS // 2
+    assert to_ms(ms(12.25)) == pytest.approx(12.25)
+
+
+def test_us_and_seconds():
+    assert us(1) == US
+    assert us(2.5) == 2_500
+    assert seconds(1) == SECOND
+    assert seconds(0.001) == MS
+
+
+def test_ms_rounds_to_nearest_nanosecond():
+    assert ms(0.0000006) == 1  # 0.6 ns rounds to 1
+    assert ms(0.0000004) == 0  # 0.4 ns rounds to 0
+
+
+def test_quantize_floors_onto_grid():
+    assert quantize(1_234_567, MS) == MS
+    assert quantize(999_999, MS) == 0
+    assert quantize(2 * MS, MS) == 2 * MS
+
+
+def test_quantize_identity_for_unit_resolution():
+    assert quantize(123, 1) == 123
+    assert quantize(123, 0) == 123
+
+
+def test_format_ns_scales():
+    assert format_ns(5) == "5ns"
+    assert format_ns(us(2)) == "2.000us"
+    assert format_ns(ms(3)) == "3.000ms"
+    assert format_ns(seconds(1.5)) == "1.500s"
+
+
+@given(st.integers(min_value=0, max_value=10**15), st.integers(min_value=1, max_value=10**9))
+def test_quantize_properties(value, resolution):
+    q = quantize(value, resolution)
+    assert q <= value
+    assert q % resolution == 0
+    assert value - q < resolution
+
+
+@given(st.floats(min_value=0, max_value=10**6, allow_nan=False))
+def test_ms_to_ms_roundtrip_close(value):
+    assert to_ms(ms(value)) == pytest.approx(value, abs=1e-6)

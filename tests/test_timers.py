@@ -1,0 +1,111 @@
+"""Unit tests for setTimeout/setInterval clamping semantics."""
+
+import pytest
+
+from repro.runtime.eventloop import EventLoop
+from repro.runtime.simtime import ms
+from repro.runtime.simulator import Simulator
+from repro.runtime.timers import NESTING_CLAMP_DEPTH, NESTING_CLAMP_NS, TimerRegistry
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    loop = EventLoop(sim, "timer-test", task_dispatch_cost=0)
+    registry = TimerRegistry(loop, min_delay_ns=ms(1))
+    return sim, loop, registry
+
+
+def test_timeout_fires_after_delay(setup):
+    sim, _loop, registry = setup
+    fired = {}
+    registry.set_timeout(lambda: fired.__setitem__("at", sim.now), 5)
+    sim.run()
+    assert fired["at"] >= ms(5)
+
+
+def test_minimum_delay_clamp(setup):
+    sim, _loop, registry = setup
+    fired = {}
+    registry.set_timeout(lambda: fired.__setitem__("at", sim.now), 0)
+    sim.run()
+    assert fired["at"] >= ms(1)
+
+
+def test_timeout_args_passed(setup):
+    sim, _loop, registry = setup
+    seen = []
+    registry.set_timeout(lambda a, b: seen.append((a, b)), 1, "x", "y")
+    sim.run()
+    assert seen == [("x", "y")]
+
+
+def test_clear_timeout_prevents_firing(setup):
+    sim, _loop, registry = setup
+    fired = []
+    timer_id = registry.set_timeout(lambda: fired.append(1), 5)
+    registry.clear_timeout(timer_id)
+    sim.run()
+    assert fired == []
+    assert registry.active_count == 0
+
+
+def test_clear_unknown_id_is_noop(setup):
+    _sim, _loop, registry = setup
+    registry.clear_timeout(99999)
+
+
+def test_nested_timeouts_clamped_to_4ms(setup):
+    sim, _loop, registry = setup
+    fire_times = []
+
+    def chain():
+        fire_times.append(sim.dispatch_time)
+        if len(fire_times) < NESTING_CLAMP_DEPTH + 3:
+            registry.set_timeout(chain, 1)
+
+    registry.set_timeout(chain, 1)
+    sim.run()
+    gaps = [fire_times[i + 1] - fire_times[i] for i in range(len(fire_times) - 1)]
+    # early gaps ~1ms, deep gaps clamped to >= 4ms
+    assert gaps[0] < NESTING_CLAMP_NS
+    assert gaps[-1] >= NESTING_CLAMP_NS
+
+
+def test_interval_repeats_until_cleared(setup):
+    sim, _loop, registry = setup
+    count = {"n": 0}
+
+    def tick():
+        count["n"] += 1
+        if count["n"] == 4:
+            registry.clear_interval(interval_id)
+
+    interval_id = registry.set_interval(tick, 2)
+    sim.run(until=ms(100))
+    assert count["n"] == 4
+
+
+def test_interval_does_not_queue_extra_firings(setup):
+    sim, loop, registry = setup
+    fire_times = []
+
+    def tick():
+        fire_times.append(sim.dispatch_time)
+        if len(fire_times) == 1:
+            sim.consume(ms(10))  # block the thread across several periods
+        if len(fire_times) >= 3:
+            registry.clear_interval(interval_id)
+
+    interval_id = registry.set_interval(tick, 2)
+    sim.run(until=ms(100))
+    # after the block, firings resume at the interval — no catch-up burst
+    assert fire_times[2] - fire_times[1] >= ms(2)
+
+
+def test_one_shot_removed_from_registry(setup):
+    sim, _loop, registry = setup
+    registry.set_timeout(lambda: None, 1)
+    assert registry.active_count == 1
+    sim.run()
+    assert registry.active_count == 0

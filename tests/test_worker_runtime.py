@@ -1,0 +1,253 @@
+"""Integration tests for native WebWorkers (no kernel)."""
+
+import pytest
+
+from repro.errors import NullDerefError, SecurityError, UseAfterFreeError
+from repro.runtime import Browser, chrome, vulnerable
+from repro.runtime.network import Resource
+from repro.runtime.origin import parse_url
+from repro.runtime.simtime import ms
+
+
+def make(bug=None):
+    profile = chrome()
+    if bug:
+        profile.bugs[bug] = True
+    browser = Browser(profile=profile, seed=1)
+    page = browser.open_page("https://app.example/")
+    return browser, page
+
+
+def test_worker_round_trip():
+    browser, page = make()
+    seen = []
+
+    def script(scope):
+        def worker_main(ws):
+            ws.onmessage = lambda event: ws.postMessage(event.data * 2)
+
+        worker = scope.Worker(worker_main)
+        worker.onmessage = lambda event: seen.append(event.data)
+        worker.postMessage(21)
+
+    page.run_script(script)
+    browser.run(until=ms(100))
+    assert seen == [42]
+
+
+def test_messages_before_script_evaluation_are_queued():
+    """HTML semantics: the port is held until the initial script runs."""
+    browser, page = make()
+    seen = []
+
+    def script(scope):
+        def worker_main(ws):
+            ws.onmessage = lambda event: ws.postMessage(f"got:{event.data}")
+
+        worker = scope.Worker(worker_main)
+        worker.onmessage = lambda event: seen.append(event.data)
+        # posted immediately, long before the spawn latency elapses
+        worker.postMessage("early")
+
+    page.run_script(script)
+    browser.run(until=ms(100))
+    assert seen == ["got:early"]
+
+
+def test_worker_runs_in_parallel_with_main_thread():
+    browser, page = make()
+    arrival = {}
+
+    def script(scope):
+        def worker_main(ws):
+            ws.setTimeout(lambda: ws.postMessage("tick"), 2)
+
+        worker = scope.Worker(worker_main)
+        worker.onmessage = lambda event: arrival.__setitem__("at", browser.sim.now)
+        # main thread blocks from 3ms..20ms; worker keeps running
+        scope.setTimeout(lambda: scope.busy_work(17.0), 3)
+
+    page.run_script(script)
+    browser.run(until=ms(100))
+    # message was SENT during the block (worker parallel) but processed after
+    assert arrival["at"] >= ms(20)
+
+
+def test_terminate_stops_worker_tasks():
+    browser, page = make()
+    ticks = []
+
+    def script(scope):
+        def worker_main(ws):
+            def tick():
+                ticks.append(browser.sim.now)
+                ws.setTimeout(tick, 1)
+
+            ws.setTimeout(tick, 1)
+
+        worker = scope.Worker(worker_main)
+        scope.setTimeout(worker.terminate, 10)
+
+    page.run_script(script)
+    browser.run(until=ms(60))
+    assert ticks  # it did run
+    assert all(t <= ms(11) for t in ticks)
+
+
+def test_post_after_terminate_dropped_silently_when_fixed():
+    browser, page = make()  # no bugs
+    box = {}
+
+    def script(scope):
+        worker = scope.Worker(lambda ws: None)
+        worker.terminate()
+
+        def late():
+            worker.postMessage("x")
+            worker.onmessage = lambda event: None
+            box["survived"] = True
+
+        scope.setTimeout(late, 5)
+
+    page.run_script(script)
+    browser.run(until=ms(50))
+    assert box.get("survived")
+
+
+def test_post_after_terminate_uaf_with_bug():
+    browser, page = make(bug="cve_2014_3194")
+
+    def script(scope):
+        worker = scope.Worker(lambda ws: None)
+        worker.terminate()
+        scope.setTimeout(lambda: worker.postMessage("x"), 5)
+
+    page.run_script(script)
+    with pytest.raises(UseAfterFreeError):
+        browser.run(until=ms(50))
+
+
+def test_onmessage_after_terminate_null_deref_with_bug():
+    browser, page = make(bug="cve_2013_5602")
+
+    def script(scope):
+        worker = scope.Worker(lambda ws: None)
+        worker.terminate()
+
+        def late():
+            worker.onmessage = lambda event: None
+
+        scope.setTimeout(late, 5)
+
+    page.run_script(script)
+    with pytest.raises(NullDerefError):
+        browser.run(until=ms(50))
+
+
+def test_cross_origin_worker_creation_error_sanitized():
+    browser, page = make()  # fixed browser
+    seen = {}
+
+    def script(scope):
+        worker = scope.Worker("https://victim.example/w.js")
+        worker.onerror = lambda event: seen.__setitem__("message", event.message)
+
+    page.run_script(script)
+    browser.run(until=ms(100))
+    assert seen["message"] == "Script error."
+
+
+def test_cross_origin_worker_creation_error_leaks_with_bug():
+    browser, page = make(bug="cve_2014_1487")
+    seen = {}
+
+    def script(scope):
+        worker = scope.Worker("https://victim.example/w.js")
+        worker.onerror = lambda event: seen.__setitem__("message", event.message)
+
+    page.run_script(script)
+    browser.run(until=ms(100))
+    assert "victim.example" in seen["message"]
+
+
+def test_worker_from_url_resource():
+    browser, page = make()
+    browser.network.host(
+        Resource(
+            parse_url("https://app.example/worker.js"),
+            2_000,
+            "text/javascript",
+            body=lambda ws: ws.postMessage("loaded"),
+        )
+    )
+    seen = []
+
+    def script(scope):
+        worker = scope.Worker("/worker.js")
+        worker.onmessage = lambda event: seen.append(event.data)
+
+    page.run_script(script)
+    browser.run(until=ms(200))
+    assert seen == ["loaded"]
+
+
+def test_import_scripts_same_origin_runs_body():
+    browser, page = make()
+    browser.network.host(
+        Resource(
+            parse_url("https://app.example/lib.js"),
+            1_000,
+            "text/javascript",
+            body=lambda ws: setattr(ws, "lib_loaded", True),
+        )
+    )
+    seen = {}
+
+    def script(scope):
+        def worker_main(ws):
+            ws.importScripts("/lib.js")
+            ws.postMessage(getattr(ws, "lib_loaded", False))
+
+        worker = scope.Worker(worker_main)
+        worker.onmessage = lambda event: seen.__setitem__("loaded", event.data)
+
+    page.run_script(script)
+    browser.run(until=ms(200))
+    assert seen["loaded"] is True
+
+
+def test_worker_self_close():
+    browser, page = make()
+    box = {}
+
+    def script(scope):
+        def worker_main(ws):
+            ws.setTimeout(ws.close, 2)
+
+        worker = scope.Worker(worker_main)
+        box["worker"] = worker
+
+    page.run_script(script)
+    browser.run(until=ms(100))
+    assert box["worker"].state == "terminated"
+
+
+def test_transfer_to_worker_detaches_sender():
+    browser, page = make()
+    box = {}
+
+    def script(scope):
+        buffer = scope.ArrayBuffer(128)
+        box["buffer"] = buffer
+
+        def worker_main(ws):
+            ws.onmessage = lambda event: ws.postMessage(len(event.transferred))
+
+        worker = scope.Worker(worker_main)
+        worker.onmessage = lambda event: box.__setitem__("views", event.data)
+        worker.postMessage("take", transfer=[buffer])
+
+    page.run_script(script)
+    browser.run(until=ms(100))
+    assert box["buffer"].detached
+    assert box["views"] == 1

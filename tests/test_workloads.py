@@ -1,0 +1,136 @@
+"""Integration tests for the synthetic workloads."""
+
+import pytest
+
+from repro.runtime.rng import hash_seed
+from repro.workloads import (
+    CODEPEN_APPS,
+    DROMAEO_TESTS,
+    SUBTEST_PROFILES,
+    alexa_population,
+    apps_with_differences,
+    generate_site,
+    loopscan_target,
+    measure_hero_time_ms,
+    measure_load_time_ms,
+    measure_worker_creation_ms,
+    observable_difference,
+    run_app,
+    run_test,
+)
+
+
+def test_alexa_population_is_seeded_and_sized():
+    sites = alexa_population(30, seed=5)
+    again = alexa_population(30, seed=5)
+    assert len(sites) == 30
+    assert [s.host for s in sites] == [s.host for s in again]
+    assert [s.total_bytes() for s in sites] == [s.total_bytes() for s in again]
+    different = alexa_population(30, seed=6)
+    assert [s.total_bytes() for s in sites] != [s.total_bytes() for s in different]
+
+
+def test_population_has_weight_classes():
+    sites = alexa_population(40, seed=1)
+    sizes = [s.total_bytes() for s in sites]
+    assert max(sizes) > 4 * min(sizes)  # head vs tail spread
+
+
+def test_generate_site_weights():
+    light = generate_site("l.example", 1, "light")
+    heavy = generate_site("h.example", 1, "heavy")
+    assert heavy.total_bytes() > light.total_bytes()
+    assert heavy.dom_nodes > light.dom_nodes
+
+
+def test_loopscan_targets_differ():
+    google = loopscan_target("google")
+    youtube = loopscan_target("youtube")
+    g_max = max(cost for _delay, cost in google.task_pattern)
+    y_max = max(cost for _delay, cost in youtube.task_pattern)
+    assert y_max > g_max  # youtube's long tasks are the fingerprint
+    with pytest.raises(KeyError):
+        loopscan_target("bing")
+
+
+def test_site_load_time_is_deterministic_per_seed():
+    site = alexa_population(3, seed=2)[0]
+    a = measure_load_time_ms("legacy-chrome", site, seed=9)
+    b = measure_load_time_ms("legacy-chrome", site, seed=9)
+    assert a == b
+    assert a > 10.0  # an actual load happened
+
+
+def test_jskernel_load_overhead_is_small():
+    site = alexa_population(3, seed=2)[1]
+    base = measure_load_time_ms("legacy-chrome", site, seed=3)
+    kernel = measure_load_time_ms("jskernel", site, seed=3)
+    assert abs(kernel - base) / base < 0.10
+
+
+def test_tor_loads_much_slower():
+    site = alexa_population(3, seed=2)[1]
+    base = measure_load_time_ms("legacy-firefox", site, seed=3)
+    tor = measure_load_time_ms("tor", site, seed=3)
+    assert tor > 2 * base
+
+
+def test_raptor_subtests_ordered_by_weight():
+    google = measure_hero_time_ms("legacy-chrome", "google", seed=1)
+    youtube = measure_hero_time_ms("legacy-chrome", "youtube", seed=1)
+    assert youtube > google
+    assert set(SUBTEST_PROFILES) == {"amazon", "facebook", "google", "youtube"}
+
+
+def test_raptor_kernel_overhead_modest():
+    base = measure_hero_time_ms("legacy-chrome", "amazon", seed=1)
+    kernel = measure_hero_time_ms("jskernel", "amazon", seed=1)
+    assert abs(kernel - base) / base < 0.15
+
+
+def test_dromaeo_tests_run_and_pure_compute_has_no_overhead():
+    base = run_test("legacy-chrome", "math-cordic")
+    kernel = run_test("jskernel", "math-cordic")
+    assert base > 0
+    assert kernel == pytest.approx(base, rel=0.01)
+
+
+def test_dromaeo_dom_attr_crosses_kernel_boundary():
+    base = run_test("legacy-chrome", "dom-attr")
+    kernel = run_test("jskernel", "dom-attr")
+    assert (kernel - base) / base > 0.05  # visible interposition cost
+    assert len(DROMAEO_TESTS) >= 8
+
+
+def test_worker_creation_bench_runs():
+    base = measure_worker_creation_ms("legacy-chrome", count=4, seed=1)
+    kernel = measure_worker_creation_ms("jskernel", count=4, seed=1)
+    assert base > 0 and kernel > 0
+    assert kernel < base * 2
+
+
+def test_codepen_apps_all_run_on_legacy():
+    for app_name in CODEPEN_APPS:
+        report = run_app("legacy-firefox", app_name, seed=1)
+        assert report, f"{app_name} produced no report"
+        assert any(k.startswith("functional:") for k in report)
+
+
+def test_codepen_functional_outputs_survive_jskernel():
+    for app_name in ("worker-pingpong", "timeout-sequencer", "debounce"):
+        legacy = run_app("legacy-firefox", app_name, seed=1)
+        kernel = run_app("jskernel", app_name, seed=1)
+        for key, value in legacy.items():
+            if key.startswith("functional:"):
+                assert kernel[key] == value, (app_name, key)
+
+
+def test_observable_difference_tolerance():
+    legacy = {"functional:x": 1, "timing:t": 10.0}
+    assert observable_difference(legacy, {"functional:x": 1, "timing:t": 11.0}) == []
+    assert observable_difference(legacy, {"functional:x": 2, "timing:t": 10.0}) == ["functional:x"]
+    assert observable_difference(legacy, {"functional:x": 1, "timing:t": 30.0}) == ["timing:t"]
+
+
+def test_apps_with_differences_counts():
+    assert apps_with_differences({"a": [], "b": ["x"], "c": ["y", "z"]}) == 2
