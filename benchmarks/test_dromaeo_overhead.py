@@ -13,7 +13,9 @@ def test_dromaeo(once):
     report = once(dromaeo_overhead)
     rows = [[name, f"{pct:+.2f}%"] for name, pct in report["per_test"].items()]
     print()
-    print(render_table(["test", "overhead"], rows, title="=== Dromaeo overhead (JSKernel on Chrome) ==="))
+    print(render_table(
+        ["test", "overhead"], rows, title="=== Dromaeo overhead (JSKernel on Chrome) ==="
+    ))
     print(f"average {report['average_pct']:+.2f}%  median {report['median_pct']:+.2f}%  "
           f"worst {report['worst_test']} {report['worst_pct']:+.2f}%  "
           f"(paper: avg +1.99%, median +0.30%, worst dom-attr +21.15%)")

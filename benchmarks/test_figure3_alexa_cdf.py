@@ -20,7 +20,9 @@ def test_figure3_cdf(once):
     series = once(figure3_cdf, site_count=SITES, visits=VISITS,
                   configs=FIGURE3_CONFIGS)
     print()
-    print(render_cdf_summary(series, title=f"=== Figure 3: loading times over {SITES} sites (ms) ==="))
+    print(render_cdf_summary(
+        series, title=f"=== Figure 3: loading times over {SITES} sites (ms) ==="
+    ))
 
     chrome = median(series["legacy-chrome"])
     chrome_kernel = median(series["jskernel"])
@@ -28,8 +30,6 @@ def test_figure3_cdf(once):
     firefox = median(series["legacy-firefox"])
     firefox_kernel = median(series["jskernel-firefox"])
     deterfox = median(series["deterfox"])
-    tor = median(series["tor"])
-    fuzzyfox = median(series["fuzzyfox"])
 
     # (1) JSKernel hugs the native browsers
     assert abs(chrome_kernel - chrome) / chrome < 0.05

@@ -24,7 +24,8 @@ def test_table3(once):
             f"{configs['legacy-chrome']['mean']:.1f}±{configs['legacy-chrome']['stdev']:.1f}",
             f"{configs['jskernel']['mean']:.1f}±{configs['jskernel']['stdev']:.1f}",
             f"{configs['legacy-firefox']['mean']:.1f}±{configs['legacy-firefox']['stdev']:.1f}",
-            f"{configs['jskernel-firefox']['mean']:.1f}±{configs['jskernel-firefox']['stdev']:.1f}",
+            f"{configs['jskernel-firefox']['mean']:.1f}"
+            f"±{configs['jskernel-firefox']['stdev']:.1f}",
         ])
     print()
     print(render_table(

@@ -10,7 +10,6 @@ Run:  python examples/implicit_clock_attack.py
 """
 
 from repro import Browser, JSKernel, SimImage, chrome
-from repro.runtime.simtime import ms
 
 LOW_RES = SimImage(320, 320, label="low-res", cross_origin=True)
 HIGH_RES = SimImage(760, 760, label="high-res", cross_origin=True)

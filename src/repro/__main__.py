@@ -9,6 +9,14 @@ Commands:
 * ``compat``               — API-compat counts + DOM similarity (small)
 * ``attacks``              — list every attack row
 * ``defenses``             — list every registered defense
+* ``trace``                — capture a Chrome trace of a scenario::
+
+      python -m repro trace <matrix|table2|dromaeo|attack NAME>
+                            [--out FILE] [--timeline] [--defense NAME]
+
+Any command also accepts ``--metrics``: the run is captured under a
+tracer and a metrics summary (task counts, queueing-delay and kernel
+latency histograms) is printed afterwards.
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ from __future__ import annotations
 import sys
 
 from .analysis.tables import render_series, render_table
-from .attacks import attack_names
+from .attacks import attack_names, create as create_attack
 from .attacks.registry import EXTENSION_ATTACKS
 from .defenses import available
 from .harness import (
@@ -27,6 +35,7 @@ from .harness import (
     run_table1,
     table2_svg_loopscan,
 )
+from .trace import Tracer, capture, format_timeline, write_chrome_trace
 
 
 def _cmd_matrix(args) -> None:
@@ -46,6 +55,7 @@ def _cmd_table2(_args) -> None:
     rows = [
         [d, v["svg_low_ms"], v["svg_high_ms"], v["loopscan_google_ms"], v["loopscan_youtube_ms"]]
         for d, v in table.items()
+        if d != "metrics"
     ]
     print(render_table(
         ["defense", "svg low", "svg high", "loops google", "loops youtube"], rows,
@@ -87,6 +97,76 @@ def _cmd_defenses(_args) -> None:
         print(name)
 
 
+TRACE_USAGE = (
+    "usage: python -m repro trace <matrix|table2|dromaeo|attack NAME> "
+    "[--out FILE] [--timeline] [--defense NAME]"
+)
+
+
+def _flag_value(args, flag, default):
+    """Pop ``--flag VALUE`` from ``args`` (in place)."""
+    if flag not in args:
+        return default
+    index = args.index(flag)
+    if index + 1 >= len(args):
+        print(TRACE_USAGE)
+        raise SystemExit(2)
+    value = args[index + 1]
+    del args[index : index + 2]
+    return value
+
+
+def _cmd_trace(args) -> None:
+    """Capture one scenario under a tracer and export Chrome trace JSON."""
+    args = list(args)
+    out = _flag_value(args, "--out", "trace.json")
+    defense = _flag_value(args, "--defense", "jskernel")
+    timeline = "--timeline" in args
+    if timeline:
+        args.remove("--timeline")
+    show_metrics = "--metrics" in args
+    if show_metrics:
+        args.remove("--metrics")
+    if not args:
+        print(TRACE_USAGE)
+        raise SystemExit(2)
+    target = args[0]
+
+    tracer = Tracer()
+    with capture(tracer):
+        if target == "matrix":
+            # a narrow Table I slice: tracing the full matrix would
+            # collect events from hundreds of browser runs
+            run_table1(
+                attacks=["cache-attack", "cve-2018-5092"],
+                defenses=["legacy-chrome", "jskernel"],
+            )
+        elif target == "table2":
+            table2_svg_loopscan(runs=1)
+        elif target == "dromaeo":
+            dromaeo_overhead()
+        elif target == "attack":
+            if len(args) < 2:
+                print(TRACE_USAGE)
+                raise SystemExit(2)
+            create_attack(args[1]).run(defense)
+        else:
+            print(TRACE_USAGE)
+            raise SystemExit(2)
+
+    write_chrome_trace(tracer, out)
+    threads = len(tracer.thread_table())
+    print(
+        f"wrote {out}: {len(tracer.events)} events across "
+        f"{len(tracer.runs)} runs / {threads} threads "
+        "(load in https://ui.perfetto.dev or chrome://tracing)"
+    )
+    if timeline:
+        print(format_timeline(tracer))
+    if show_metrics:
+        print(tracer.metrics.format())
+
+
 COMMANDS = {
     "matrix": _cmd_matrix,
     "table2": _cmd_table2,
@@ -95,6 +175,7 @@ COMMANDS = {
     "compat": _cmd_compat,
     "attacks": _cmd_attacks,
     "defenses": _cmd_defenses,
+    "trace": _cmd_trace,
 }
 
 
@@ -103,7 +184,16 @@ def main(argv=None) -> int:
     if not args or args[0] in ("-h", "--help") or args[0] not in COMMANDS:
         print(__doc__)
         return 0 if args and args[0] in ("-h", "--help") else 1
-    COMMANDS[args[0]](args[1:])
+    command, rest = args[0], args[1:]
+    if command != "trace" and "--metrics" in rest:
+        rest.remove("--metrics")
+        tracer = Tracer()
+        with capture(tracer):
+            COMMANDS[command](rest)
+        print()
+        print(tracer.metrics.format())
+    else:
+        COMMANDS[command](rest)
     return 0
 
 

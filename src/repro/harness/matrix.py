@@ -8,6 +8,7 @@ from ..analysis.tables import render_matrix
 from ..attacks import attack_names, create as create_attack
 from ..attacks.expected import expected_matrix
 from ..defenses import TABLE1_DEFENSES
+from ..trace import current_tracer
 
 
 class TableOneResult:
@@ -24,6 +25,9 @@ class TableOneResult:
         #: attack -> defense -> result detail string
         self.details = details
         self.defenses = list(defenses)
+        #: Metrics snapshot of the run, when captured under an active
+        #: tracer (see :mod:`repro.trace`); ``None`` otherwise.
+        self.metrics: Optional[dict] = None
 
     def agreement(self) -> float:
         """Fraction of cells agreeing with the reconstructed paper matrix."""
@@ -72,4 +76,8 @@ def run_table1(
             result = create_attack(attack_name).run(defense_name, seed=seed)
             matrix[attack_name][defense_name] = result.defended
             details[attack_name][defense_name] = result.detail
-    return TableOneResult(matrix, details, defenses)
+    outcome = TableOneResult(matrix, details, defenses)
+    tracer = current_tracer()
+    if tracer.enabled:
+        outcome.metrics = tracer.metrics.snapshot()
+    return outcome

@@ -14,6 +14,7 @@ from ..attacks.timing.script_parsing import ScriptParsingAttack
 from ..attacks.timing.loopscan import LoopscanAttack
 from ..attacks.timing.svg_filtering import SvgFilteringAttack
 from ..runtime.rng import hash_seed
+from ..trace import current_tracer
 from ..workloads.alexa import FIGURE3_CONFIGS, figure3_series
 from ..workloads.dromaeo import overhead_report
 from ..workloads.raptor import table3_rows
@@ -91,6 +92,11 @@ def table2_svg_loopscan(
             "loopscan_google_ms": avg(loopscan, "google"),
             "loopscan_youtube_ms": avg(loopscan, "youtube"),
         }
+    tracer = current_tracer()
+    if tracer.enabled:
+        # extra top-level key, only under an active capture; per-defense
+        # consumers must skip it (it is not a defense row)
+        table["metrics"] = tracer.metrics.snapshot()
     return table
 
 
@@ -111,7 +117,12 @@ def table3_raptor(runs: int = 25, seed: int = 0) -> Dict[str, Dict[str, Dict[str
 
 def dromaeo_overhead(seed: int = 0) -> Dict[str, object]:
     """The Dromaeo overhead report for JSKernel on Chrome."""
-    return overhead_report(config="jskernel", baseline="legacy-chrome", seed=seed)
+    report = overhead_report(config="jskernel", baseline="legacy-chrome", seed=seed)
+    tracer = current_tracer()
+    if tracer.enabled:
+        report = dict(report)
+        report["metrics"] = tracer.metrics.snapshot()
+    return report
 
 
 def worker_creation_overhead(seed: int = 0) -> Dict[str, float]:

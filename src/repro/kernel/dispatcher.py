@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..runtime.task import TaskSource
+from ..trace import LATENCY_BUCKETS_NS
 from .kobjects import CANCELLED, DISPATCHED, PENDING, KernelEvent
 
 #: Native cost charged per dispatched kernel event (queue + context prep).
@@ -109,6 +110,29 @@ class Dispatcher:
         self.kspace.clock.tick_to(event.predicted_time)
         event.status = DISPATCHED
         self.dispatched_count += 1
+        tracer = sim.tracer
+        if tracer.enabled:
+            now = sim.now
+            dispatch_latency = now - (event.confirm_time or event.reg_time)
+            if event.trace_span:
+                tracer.async_event(
+                    "e",
+                    sim.trace_pid,
+                    self.kspace.scheduler.trace_row,
+                    f"kevent:{event.kind}",
+                    event.trace_span,
+                    now,
+                    cat="kernel-event",
+                    args={
+                        "predicted_ns": event.predicted_time,
+                        "confirm_latency_ns": event.confirm_time - event.reg_time,
+                        "dispatch_latency_ns": dispatch_latency,
+                    },
+                )
+            tracer.metrics.counter(f"kernel.dispatched.{event.kind}").inc()
+            tracer.metrics.histogram(
+                f"kernel.dispatch_latency_ns.{self.kspace.label}", LATENCY_BUCKETS_NS
+            ).record(dispatch_latency)
         if event.on_dispatch is not None:
             event.on_dispatch(event)
             return

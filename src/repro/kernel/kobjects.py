@@ -45,6 +45,9 @@ class KernelEvent:
         "label",
         "stub",
         "on_dispatch",
+        "reg_time",
+        "confirm_time",
+        "trace_span",
     )
 
     def __init__(
@@ -69,6 +72,12 @@ class KernelEvent:
         self.stub: Any = None
         #: Optional dispatcher hook run instead of the callback.
         self.on_dispatch: Optional[Callable[["KernelEvent"], None]] = None
+        #: Lifecycle stamps (virtual ns) for tracing: set by the scheduler
+        #: at registration / confirmation.
+        self.reg_time = 0
+        self.confirm_time = 0
+        #: Tracer-local async-span id (0 when the capture is disabled).
+        self.trace_span = 0
 
     # ------------------------------------------------------------------
     def confirm(

@@ -100,7 +100,7 @@ class WorkerXhrOriginPolicy(Policy):
         target = parse_url(url, base=base_url)
         if not same_origin(target.origin, origin):
             raise SecurityError(
-                f"kernel policy: worker XHR to cross-origin "
+                "kernel policy: worker XHR to cross-origin "
                 f"{target.origin.serialize()} denied"
             )
 

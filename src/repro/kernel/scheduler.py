@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..errors import KernelError
+from ..trace import LATENCY_BUCKETS_NS
 from .kobjects import CANCELLED, DISPATCHED, PENDING, READY, KernelEvent, KernelEventQueue
 
 #: Minimum spacing enforced between consecutively assigned predictions.
@@ -50,6 +51,8 @@ class Scheduler:
         self.registered_count = 0
         self.confirmed_count = 0
         self.cancelled_count = 0
+        #: Trace thread row shared by this kspace's scheduler + dispatcher.
+        self.trace_row = f"kernel:{kspace.label}"
 
     # ------------------------------------------------------------------
     # registration stage
@@ -96,8 +99,24 @@ class Scheduler:
             chain=chain,
         )
         event = KernelEvent(kind, predicted, callbacks, label=label)
+        sim = self.kspace.loop.sim
+        event.reg_time = sim.now
         self.queue.push(event)
         self.registered_count += 1
+        tracer = sim.tracer
+        if tracer.enabled:
+            event.trace_span = tracer.next_span_id()
+            tracer.async_event(
+                "b",
+                sim.trace_pid,
+                self.trace_row,
+                f"kevent:{kind}",
+                event.trace_span,
+                event.reg_time,
+                cat="kernel-event",
+                args={"predicted_ns": predicted, "label": event.label},
+            )
+            tracer.metrics.counter(f"kernel.registered.{kind}").inc()
         return event
 
     def _default_predict(self, kind: str, hint: Optional[int]) -> int:
@@ -157,6 +176,26 @@ class Scheduler:
             return
         event.confirm(args=args, this=this, which=which)
         self.confirmed_count += 1
+        sim = self.kspace.loop.sim
+        event.confirm_time = sim.now
+        tracer = sim.tracer
+        if tracer.enabled:
+            latency = event.confirm_time - event.reg_time
+            if event.trace_span:
+                tracer.async_event(
+                    "n",
+                    sim.trace_pid,
+                    self.trace_row,
+                    f"kevent:{event.kind}",
+                    event.trace_span,
+                    event.confirm_time,
+                    cat="kernel-event",
+                    args={"stage": "confirm", "confirm_latency_ns": latency},
+                )
+            tracer.metrics.counter("kernel.confirmed").inc()
+            tracer.metrics.histogram(
+                f"kernel.confirm_latency_ns.{self.kspace.label}", LATENCY_BUCKETS_NS
+            ).record(latency)
         self.kspace.dispatcher.kick()
 
     def register_confirmed(
@@ -182,17 +221,37 @@ class Scheduler:
         if event.status == PENDING:
             event.cancel()
             self.cancelled_count += 1
+            self._trace_cancel(event, "not-happened")
             # a cancelled head may have been blocking confirmed events
             self.kspace.dispatcher.kick()
             return "not-happened"
         if event.status == READY:
             event.cancel()
             self.cancelled_count += 1
+            self._trace_cancel(event, "confirmed-not-invoked")
             self.kspace.dispatcher.kick()
             return "confirmed-not-invoked"
         if event.status == DISPATCHED:
             return "already-invoked"
         return "already-cancelled"
+
+    def _trace_cancel(self, event: KernelEvent, case: str) -> None:
+        sim = self.kspace.loop.sim
+        tracer = sim.tracer
+        if not tracer.enabled:
+            return
+        if event.trace_span:
+            tracer.async_event(
+                "e",
+                sim.trace_pid,
+                self.trace_row,
+                f"kevent:{event.kind}",
+                event.trace_span,
+                sim.now,
+                cat="kernel-event",
+                args={"cancelled": case},
+            )
+        tracer.metrics.counter(f"kernel.cancelled.{case}").inc()
 
     def lookup(self, event_id: int) -> Optional[KernelEvent]:
         """Find an event by id (policy handlers use this)."""

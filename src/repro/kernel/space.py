@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Dict
 
+from ..errors import SecurityError
 from ..runtime.eventloop import EventLoop
 from .dispatcher import Dispatcher
 from .kclock import KernelClock
@@ -50,9 +51,26 @@ class KernelSpace:
         Charges the (small, real) kernel-crossing cost, ticks the kernel
         clock deterministically, and lets the policy veto.
         """
-        self.loop.sim.consume(250)
+        sim = self.loop.sim
+        sim.consume(250)
         self.clock.api_tick()
-        self.policy.on_api_call(api, self, info or {})
+        tracer = sim.tracer
+        if tracer.enabled:
+            tracer.metrics.counter(f"kernel.api_calls.{api}").inc()
+        try:
+            self.policy.on_api_call(api, self, info or {})
+        except SecurityError as veto:
+            if tracer.enabled:
+                tracer.instant(
+                    sim.trace_pid,
+                    self.scheduler.trace_row,
+                    "policy.veto",
+                    sim.now,
+                    cat="policy",
+                    args={"api": api, "rule": str(veto)},
+                )
+                tracer.metrics.counter("kernel.policy_vetoes").inc()
+            raise
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<KernelSpace {self.label} queue={len(self.queue)} clock={self.clock.now}>"

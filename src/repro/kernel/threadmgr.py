@@ -28,6 +28,7 @@ from . import comm
 from .interface import KernelInterface
 from .space import KernelSpace
 
+#: Fallback id stream for managers predating per-manager numbering.
 _kthread_ids = itertools.count(1)
 
 #: Sanitised message used when policies strip error details.
@@ -39,7 +40,9 @@ class KernelThread:
 
     def __init__(self, manager: "ThreadManager", src):
         self.manager = manager
-        self.id = next(_kthread_ids)
+        # per-manager numbering keeps kthread labels (and traces)
+        # deterministic across repeated runs in one process
+        self.id = next(getattr(manager, "kthread_seq", _kthread_ids))
         self.src = src
         #: "started" -> "ready" (user thread loaded) -> "closed"
         self.status = "started"
@@ -100,6 +103,8 @@ class ThreadManager:
         self.page = page
         self.kspace = kernel_instance.kspace
         self.threads: List[KernelThread] = []
+        #: Id stream for this manager's kernel threads.
+        self.kthread_seq = itertools.count(1)
 
     # ------------------------------------------------------------------
     # construction (user calls new Worker(...))
@@ -122,6 +127,18 @@ class ThreadManager:
         # pass the user thread source over kernel-space communication
         handle.postMessage(comm.wrap_kernel("load-user-thread", None))
         self.kernel.policy.on_worker_create(kthread)
+        sim = self.kspace.loop.sim
+        tracer = sim.tracer
+        if tracer.enabled:
+            tracer.instant(
+                sim.trace_pid,
+                self.kspace.scheduler.trace_row,
+                "kthread.spawn",
+                sim.now,
+                cat="kernel",
+                args={"kthread": f"kthread-{kthread.id}"},
+            )
+            tracer.metrics.counter("kernel.threads_spawned").inc()
         return stub
 
     def _make_bootstrap(self, kthread: KernelThread) -> Callable:
@@ -360,6 +377,21 @@ class ThreadManager:
             return
         kthread.status = "closed"
         claimed = self.kernel.policy.on_worker_terminate_request(kthread)
+        sim = self.kspace.loop.sim
+        tracer = sim.tracer
+        if tracer.enabled:
+            tracer.instant(
+                sim.trace_pid,
+                self.kspace.scheduler.trace_row,
+                "kthread.terminate",
+                sim.now,
+                cat="kernel",
+                args={
+                    "kthread": f"kthread-{kthread.id}",
+                    "user_level_only": bool(claimed),
+                },
+            )
+            tracer.metrics.counter("kernel.threads_terminated").inc()
         if claimed:
             # user-level close only: the kernel worker stays alive, so no
             # buggy native teardown (dangling fetches, freed transferables,

@@ -9,6 +9,7 @@ extension that runs at ``document_start``.
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, List, Optional, Set
 
 from .clock import ClockPolicy, QuantizedClockPolicy
@@ -48,6 +49,8 @@ class Browser:
         self.history: Set[str] = set()
         self.pages: List[Page] = []
         self.workers: List[WorkerAgent] = []
+        #: Id stream for this browser's workers (see WorkerAgent.__init__).
+        self.worker_seq = itertools.count(1)
         #: Called with each new Page (defenses interpose here).
         self.page_hooks: List[Callable[[Page], None]] = []
         #: Called with each new WorkerAgent before its script runs.

@@ -26,7 +26,15 @@ class CSSAnimation:
 
     _ids = itertools.count(1)
 
-    def __init__(self, element: Element, prop: str, from_value: float, to_value: float, duration_ms: float, start_ms: float):
+    def __init__(
+        self,
+        element: Element,
+        prop: str,
+        from_value: float,
+        to_value: float,
+        duration_ms: float,
+        start_ms: float,
+    ):
         self.id = next(self._ids)
         self.element = element
         self.prop = prop

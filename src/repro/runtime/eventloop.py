@@ -21,9 +21,11 @@ behaviour implicit clocks measure.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
 
 from ..errors import SimulationError
+from ..trace import QUEUE_DELAY_BUCKETS_NS
 from .simulator import ExecutionFrame, ScheduledCall, Simulator
 from .task import Microtask, Task, TaskRecord, TaskSource
 
@@ -42,7 +44,9 @@ class EventLoop:
         self.name = name
         self.task_dispatch_cost = task_dispatch_cost
         self._queue: List[Tuple[int, int, Task]] = []
-        self._microtasks: List[Microtask] = []
+        # deque: the checkpoint pops from the left, and list.pop(0) is
+        # O(n) — quadratic over a promise-heavy task's microtask chain
+        self._microtasks: Deque[Microtask] = deque()
         self.busy_until = 0
         self.stopped = False
         self._wakeup: Optional[ScheduledCall] = None
@@ -185,19 +189,49 @@ class EventLoop:
         self.tasks_run += 1
         if self.record_trace:
             self.trace.append(TaskRecord(task.id, task.label, task.source, start, end))
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            queue_delay = max(start - task.ready_time, 0)
+            tracer.complete(
+                self.sim.trace_pid,
+                self.name,
+                task.label,
+                start,
+                end,
+                cat="task",
+                args={"source": task.source.value, "queue_delay_ns": queue_delay},
+            )
+            metrics = tracer.metrics
+            metrics.counter(f"eventloop.tasks.{task.source.value}").inc()
+            metrics.histogram(
+                f"eventloop.queue_delay_ns.{self.name}", QUEUE_DELAY_BUCKETS_NS
+            ).record(queue_delay)
         for observer in list(self.task_observers):
             observer(task, start, end)
 
     def _drain_microtasks(self, frame: ExecutionFrame) -> None:
         """Run the microtask checkpoint (bounded to catch runaway chains)."""
         budget = 100_000
+        drained = 0
         while self._microtasks:
-            micro = self._microtasks.pop(0)
+            micro = self._microtasks.popleft()
             frame.consume(micro.cost)
             micro.callback(*micro.args)
+            drained += 1
             budget -= 1
             if budget <= 0:
                 raise SimulationError(
                     f"microtask checkpoint on {self.name!r} exceeded 100000 "
                     "microtasks (runaway promise chain?)"
                 )
+        tracer = self.sim.tracer
+        if drained and tracer.enabled:
+            tracer.instant(
+                self.sim.trace_pid,
+                self.name,
+                "microtask-checkpoint",
+                frame.local_now,
+                cat="task",
+                args={"count": drained},
+            )
+            tracer.metrics.counter(f"eventloop.microtasks.{self.name}").inc(drained)

@@ -96,7 +96,20 @@ class MessageEndpoint:
         if self.peer is None:
             raise SimulationError(f"endpoint {self.name!r} is not connected")
         sim = self.loop.sim
-        sim.consume(POST_MESSAGE_COST + CLONE_COST_PER_UNIT * payload_size(data))
+        size = payload_size(data)
+        sim.consume(POST_MESSAGE_COST + CLONE_COST_PER_UNIT * size)
+        tracer = sim.tracer
+        if tracer.enabled:
+            tracer.instant(
+                sim.trace_pid,
+                self.loop.name,
+                "postMessage",
+                sim.now,
+                cat="message",
+                args={"to": self.peer.name, "size": size},
+            )
+            tracer.metrics.counter("messages.posted").inc()
+            tracer.metrics.counter("messages.clone_units").inc(size)
         views: List[Any] = []
         if transfer:
             for item in transfer:

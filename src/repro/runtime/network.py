@@ -175,7 +175,9 @@ class SimNetwork:
         from_cache = use_cache and self.is_cached(url) and resource is not None
 
         if resource is not None and resource.redirect_to is not None:
-            response = NetworkResponse(url, 200, resource, from_cache, final_url=resource.redirect_to)
+            response = NetworkResponse(
+                url, 200, resource, from_cache, final_url=resource.redirect_to
+            )
         elif resource is not None:
             response = NetworkResponse(url, 200, resource, from_cache)
             if use_cache:

@@ -149,7 +149,9 @@ class Page:
         video = VideoElement(self.loop, self._animation_clock, duration_ms)
         return video
 
-    def _apply_filter(self, element: Element, name: str, image: SimImage, iterations: int = 1) -> None:
+    def _apply_filter(
+        self, element: Element, name: str, image: SimImage, iterations: int = 1
+    ) -> None:
         """Apply an SVG filter to an element: costs land on the next frame."""
         element.pending_paint_cost += filter_cost(name, image, iterations)
         self.document.mark_dirty()

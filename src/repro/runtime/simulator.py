@@ -31,6 +31,7 @@ import itertools
 from typing import Callable, List, Optional, Tuple
 
 from ..errors import DeadlockError, SimulationError
+from ..trace import current_tracer
 
 
 class ScheduledCall:
@@ -94,6 +95,11 @@ class Simulator:
         self._seq = itertools.count()
         self._frames: List[ExecutionFrame] = []
         self.events_processed = 0
+        #: The active capture's tracer (the shared disabled one outside a
+        #: capture); every runtime/kernel component reaches it through its
+        #: simulator.  ``trace_pid`` is this run's Chrome-trace process id.
+        self.tracer = current_tracer()
+        self.trace_pid = self.tracer.register_run() if self.tracer.enabled else 0
 
     # ------------------------------------------------------------------
     # time

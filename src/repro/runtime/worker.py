@@ -33,6 +33,7 @@ WORKER_CONSTRUCT_COST = 60_000
 #: Cost of an importScripts call (excluding network time).
 IMPORT_SCRIPTS_COST = 20_000
 
+#: Fallback id stream for hosts predating per-browser numbering.
 _worker_ids = itertools.count(1)
 
 #: Sanitised error text for cross-origin failures (per HTML spec).
@@ -102,7 +103,9 @@ class WorkerAgent:
     def __init__(self, host, parent_loop: EventLoop, parent_base_url: URL, src):
         """``host`` is the owning Browser (sim/network/heap/profile)."""
         self.host = host
-        self.id = next(_worker_ids)
+        # per-browser numbering keeps worker names (and therefore traces)
+        # deterministic across repeated runs in one process
+        self.id = next(getattr(host, "worker_seq", _worker_ids))
         self.name = f"worker-{self.id}"
         self.parent_loop = parent_loop
         self.src = src
@@ -151,6 +154,18 @@ class WorkerAgent:
 
         for hook in list(host.worker_hooks):
             hook(self)
+
+        tracer = host.sim.tracer
+        if tracer.enabled:
+            tracer.instant(
+                host.sim.trace_pid,
+                self.name,
+                "worker.spawn",
+                host.sim.now,
+                cat="worker",
+                args={"src": self.script_url.serialize(), "parent": parent_loop.name},
+            )
+            tracer.metrics.counter("workers.spawned").inc()
 
         self._begin_startup(parent_base_url)
 
@@ -397,6 +412,17 @@ class WorkerAgent:
             return
         self.state = "terminated"
         self.termination_reason = reason
+        tracer = self.host.sim.tracer
+        if tracer.enabled:
+            tracer.instant(
+                self.host.sim.trace_pid,
+                self.name,
+                "worker.terminate",
+                self.host.sim.now,
+                cat="worker",
+                args={"reason": reason},
+            )
+            tracer.metrics.counter("workers.terminated").inc()
         self.host.sim.schedule(
             self.host.sim.now, self._finalize_termination, label=f"{self.name}:teardown"
         )

@@ -76,7 +76,9 @@ class XMLHttpRequest:
         if response.ok and response.resource is not None:
             body = response.resource.body
             self.response_body = body
-            self.response_text = body if isinstance(body, str) else f"<{response.resource.size_bytes} bytes>"
+            self.response_text = (
+                body if isinstance(body, str) else f"<{response.resource.size_bytes} bytes>"
+            )
             if self.onload is not None:
                 self.onload()
         else:

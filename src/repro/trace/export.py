@@ -1,0 +1,111 @@
+"""Exporters: Chrome trace-event JSON and a human-readable timeline.
+
+The Chrome export follows the Trace Event Format (the JSON consumed by
+Perfetto and ``chrome://tracing``): one ``pid`` per simulated browser run,
+one ``tid`` per simulated thread, ``ts``/``dur`` in microseconds of
+**virtual time**.  Serialisation sorts keys and uses fixed separators so
+that two captures of the same seeded scenario produce byte-identical
+files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .tracer import Tracer
+
+
+def _us(ts_ns: int) -> float:
+    """Virtual ns -> trace-format µs."""
+    return ts_ns / 1000
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """Build the Chrome trace-event JSON object for a capture."""
+    threads = tracer.thread_table()
+    events: List[dict] = []
+    for pid, label in tracer.runs.items():
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": label},
+            }
+        )
+    for (pid, thread_name), tid in threads.items():
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "ts": 0,
+                "args": {"name": thread_name},
+            }
+        )
+    for event in tracer.events:
+        out = {
+            "ph": event["ph"],
+            "name": event["name"],
+            "cat": event.get("cat") or "sim",
+            "pid": event["pid"],
+            "tid": threads[(event["pid"], event["thread"])],
+            "ts": _us(event["ts"]),
+            "args": event["args"],
+        }
+        if "dur" in event:
+            out["dur"] = _us(event["dur"])
+        if "id" in event:
+            out["id"] = event["id"]
+        if "s" in event:
+            out["s"] = event["s"]
+        events.append(out)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "virtual",
+            "source": "repro (JSKernel reproduction)",
+        },
+    }
+
+
+def dump_chrome_trace(tracer: Tracer) -> str:
+    """The Chrome trace as a deterministic JSON string."""
+    return json.dumps(chrome_trace(tracer), sort_keys=True, separators=(",", ":"))
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    """Write the capture to ``path`` (open it in Perfetto to inspect)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dump_chrome_trace(tracer))
+
+
+_PHASE_MARKS = {"X": "span", "i": "mark", "C": "ctr ", "b": "beg ", "n": "mid ", "e": "end "}
+
+
+def format_timeline(tracer: Tracer, limit: int = 0) -> str:
+    """Human-readable dump, one line per event in virtual-time order."""
+    indexed = sorted(enumerate(tracer.events), key=lambda pair: (pair[1]["ts"], pair[0]))
+    if limit:
+        indexed = indexed[:limit]
+    lines = []
+    for _index, event in indexed:
+        run = tracer.runs.get(event["pid"], str(event["pid"]))
+        mark = _PHASE_MARKS.get(event["ph"], event["ph"])
+        line = (
+            f"{event['ts'] / 1e6:12.3f}ms {run:>8s} [{event['thread']}] "
+            f"{mark} {event['name']}"
+        )
+        if event["ph"] == "X":
+            line += f" ({event['dur'] / 1e6:.3f}ms)"
+        args = event.get("args")
+        if args:
+            detail = " ".join(f"{key}={value}" for key, value in args.items())
+            line += f"  {detail}"
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""Metrics primitives: counters, gauges and fixed-bucket histograms.
+
+Every value recorded here is derived from **virtual time** or virtual-time
+event counts, so a seeded scenario produces identical metrics on every
+run.  The registry is deliberately plain: metric objects are created on
+demand by name, and :meth:`MetricsRegistry.snapshot` returns nothing but
+dicts, lists and numbers so harness reports can embed it directly in
+their result payloads (and ``json.dumps`` it without custom encoders).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+#: Default buckets for queueing-delay style histograms, in virtual ns
+#: (1 µs, 10 µs, 100 µs, 1 ms, 10 ms, 100 ms).
+QUEUE_DELAY_BUCKETS_NS: Tuple[int, ...] = (
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+)
+
+#: Default buckets for kernel-stage latencies (same decades).
+LATENCY_BUCKETS_NS: Tuple[int, ...] = QUEUE_DELAY_BUCKETS_NS
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter decrement: {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways (queue depths, live threads)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        """Shift the gauge by ``delta`` (either sign)."""
+        self.value += delta
+
+
+class Histogram:
+    """Fixed-bucket histogram.
+
+    ``bounds`` are upper bucket edges (inclusive); a value larger than the
+    last bound lands in the overflow bucket, so ``counts`` always has
+    ``len(bounds) + 1`` entries.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "count", "min", "max")
+
+    def __init__(self, bounds: Sequence[int]):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be sorted and non-empty: {bounds}")
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.count = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        """Record one observation."""
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += value
+        self.count += 1
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+
+class MetricsRegistry:
+    """Name-keyed store of counters, gauges and histograms."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        return gauge
+
+    def histogram(self, name: str, bounds: Sequence[int] = QUEUE_DELAY_BUCKETS_NS) -> Histogram:
+        """The histogram called ``name`` (created on first use).
+
+        ``bounds`` only applies at creation; later calls reuse the
+        existing buckets.
+        """
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(bounds)
+        return histogram
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, dict]:
+        """Plain-dict dump of every metric, keys sorted for determinism."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "sum": h.total,
+                    "count": h.count,
+                    "min": h.min,
+                    "max": h.max,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def format(self) -> str:
+        """Human-readable metrics summary (CLI ``--metrics`` output)."""
+        snap = self.snapshot()
+        lines = []
+        if snap["counters"]:
+            lines.append("counters:")
+            for name, value in snap["counters"].items():
+                lines.append(f"  {name:48s} {value}")
+        if snap["gauges"]:
+            lines.append("gauges:")
+            for name, value in snap["gauges"].items():
+                lines.append(f"  {name:48s} {value}")
+        if snap["histograms"]:
+            lines.append("histograms:")
+            for name, data in snap["histograms"].items():
+                mean = data["sum"] / data["count"] if data["count"] else 0.0
+                lines.append(
+                    f"  {name:48s} n={data['count']} mean={mean:.0f} "
+                    f"min={data['min']} max={data['max']}"
+                )
+                edges = [*data["bounds"], "inf"]
+                buckets = " ".join(
+                    f"<={edge}:{count}" for edge, count in zip(edges, data["counts"]) if count
+                )
+                if buckets:
+                    lines.append(f"    {buckets}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,228 @@
+"""The :class:`Tracer`: structured events on the virtual timeline.
+
+Every event is stamped with a **virtual-time** timestamp in integer
+nanoseconds (the :class:`~repro.runtime.simulator.Simulator` clock) and a
+``(run, thread)`` coordinate: a *run* is one simulator instance (attacks
+spin up a fresh browser per trial, so a matrix capture contains many
+runs), a *thread* is one simulated JavaScript thread or kernel row within
+it.  Chrome-trace export maps runs to ``pid`` and threads to ``tid``.
+
+Zero overhead when disabled
+---------------------------
+
+Instrumentation sites follow the pattern::
+
+    tracer = self.sim.tracer
+    if tracer.enabled:
+        tracer.instant(...)
+
+so a disabled tracer costs one attribute load and one branch per site and
+allocates nothing.  The module-level :data:`NULL_TRACER` is permanently
+disabled and shared by every simulator created outside a capture.
+
+Determinism
+-----------
+
+Emitted events must never include wall-clock values or process-global
+counters (task ids, kernel-event ids): two captures of the same seeded
+scenario are required to serialise byte-identically.  Run ids, thread
+ids and async-span ids are therefore all allocated per-tracer, in first
+-use order, which is itself deterministic.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+
+
+class Tracer:
+    """Collects trace events and owns the capture's metrics registry."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        #: Chrome-trace-shaped event dicts, ``ts``/``dur`` in virtual ns.
+        self.events: List[dict] = []
+        self.metrics = MetricsRegistry()
+        #: run pid -> label ("run-1", ...), insertion-ordered.
+        self.runs: Dict[int, str] = {}
+        self._next_pid = 1
+        self._next_span_id = 1
+
+    # ------------------------------------------------------------------
+    # runs and threads
+    # ------------------------------------------------------------------
+    def register_run(self, label: str = "") -> int:
+        """Allocate a pid for one simulator instance."""
+        pid = self._next_pid
+        self._next_pid += 1
+        self.runs[pid] = label or f"run-{pid}"
+        return pid
+
+    def attach(self, sim) -> None:
+        """Adopt an already-built simulator (and its browser) into this
+        capture.
+
+        Simulators created inside :func:`capture` attach automatically;
+        this is for tracing a browser that was constructed earlier.
+        """
+        sim.tracer = self
+        sim.trace_pid = self.register_run() if self.enabled else 0
+
+    def next_span_id(self) -> int:
+        """Allocate a tracer-local id for an async (b/n/e) span."""
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        return span_id
+
+    # ------------------------------------------------------------------
+    # event emission (callers must check ``enabled`` first)
+    # ------------------------------------------------------------------
+    def complete(
+        self,
+        pid: int,
+        thread: str,
+        name: str,
+        start_ns: int,
+        end_ns: int,
+        cat: str = "",
+        args: Optional[dict] = None,
+    ) -> None:
+        """A span with known start and end (Chrome phase ``X``)."""
+        self.events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "thread": thread,
+                "name": name,
+                "cat": cat,
+                "ts": start_ns,
+                "dur": max(end_ns - start_ns, 0),
+                "args": args or {},
+            }
+        )
+
+    def instant(
+        self,
+        pid: int,
+        thread: str,
+        name: str,
+        ts_ns: int,
+        cat: str = "",
+        args: Optional[dict] = None,
+    ) -> None:
+        """A point event (Chrome phase ``i``, thread-scoped)."""
+        self.events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "pid": pid,
+                "thread": thread,
+                "name": name,
+                "cat": cat,
+                "ts": ts_ns,
+                "args": args or {},
+            }
+        )
+
+    def counter(
+        self,
+        pid: int,
+        thread: str,
+        name: str,
+        ts_ns: int,
+        values: dict,
+        cat: str = "",
+    ) -> None:
+        """A sampled counter track (Chrome phase ``C``)."""
+        self.events.append(
+            {
+                "ph": "C",
+                "pid": pid,
+                "thread": thread,
+                "name": name,
+                "cat": cat,
+                "ts": ts_ns,
+                "args": dict(values),
+            }
+        )
+
+    def async_event(
+        self,
+        phase: str,
+        pid: int,
+        thread: str,
+        name: str,
+        span_id: int,
+        ts_ns: int,
+        cat: str = "",
+        args: Optional[dict] = None,
+    ) -> None:
+        """One leg of an async span (phases ``b``/``n``/``e``).
+
+        Async spans may overlap freely on one thread row, which is what
+        the kernel event lifecycle needs: event A can register before B
+        yet dispatch after it.
+        """
+        self.events.append(
+            {
+                "ph": phase,
+                "pid": pid,
+                "thread": thread,
+                "name": name,
+                "cat": cat,
+                "id": span_id,
+                "ts": ts_ns,
+                "args": args or {},
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def thread_table(self) -> Dict[Tuple[int, str], int]:
+        """(pid, thread name) -> tid, in first-appearance order."""
+        table: Dict[Tuple[int, str], int] = {}
+        next_tid: Dict[int, int] = {}
+        for event in self.events:
+            key = (event["pid"], event["thread"])
+            if key not in table:
+                tid = next_tid.get(event["pid"], 1)
+                table[key] = tid
+                next_tid[event["pid"]] = tid + 1
+        return table
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+#: The permanently disabled tracer shared by untraced simulators.
+NULL_TRACER = Tracer(enabled=False)
+
+_active: Optional[Tracer] = None
+
+
+def current_tracer() -> Tracer:
+    """The tracer new simulators should attach to."""
+    return _active if _active is not None else NULL_TRACER
+
+
+@contextmanager
+def capture(tracer: Optional[Tracer] = None):
+    """Route every simulator built inside the block into one tracer.
+
+    ::
+
+        with capture() as tracer:
+            run_table1(...)
+        write_chrome_trace(tracer, "trace.json")
+    """
+    global _active
+    if tracer is None:
+        tracer = Tracer(enabled=True)
+    previous = _active
+    _active = tracer
+    try:
+        yield tracer
+    finally:
+        _active = previous

@@ -176,7 +176,9 @@ def _app_debounce(scope, report: Dict[str, Any], done: Callable) -> None:
     def trigger() -> None:
         if state["timer"] is not None:
             scope.clearTimeout(state["timer"])
-        state["timer"] = scope.setTimeout(lambda: state.__setitem__("fired", state["fired"] + 1), 12)
+        state["timer"] = scope.setTimeout(
+            lambda: state.__setitem__("fired", state["fired"] + 1), 12
+        )
 
     for delay in (0, 4, 8):
         scope.setTimeout(trigger, delay)
@@ -321,7 +323,9 @@ def observable_difference(legacy: Dict[str, Any], under_defense: Dict[str, Any])
     return differences
 
 
-def compat_survey(config: str, baseline: str = "legacy-firefox", seed: int = 0) -> Dict[str, List[str]]:
+def compat_survey(
+    config: str, baseline: str = "legacy-firefox", seed: int = 0
+) -> Dict[str, List[str]]:
     """app -> list of observable differences for ``config``."""
     results: Dict[str, List[str]] = {}
     for app_name in CODEPEN_APPS:

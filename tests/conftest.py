@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.defenses import make_browser
 from repro.kernel import JSKernel
 from repro.runtime import Browser, chrome, vulnerable
 

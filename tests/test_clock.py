@@ -13,8 +13,7 @@ from repro.runtime.clock import (
     PerformanceClock,
     QuantizedClockPolicy,
 )
-from repro.runtime.eventloop import EventLoop
-from repro.runtime.simtime import MS, ms, us
+from repro.runtime.simtime import MS, ms
 from repro.runtime.simulator import ExecutionFrame, Simulator
 
 

@@ -86,8 +86,8 @@ def test_serialization_is_deterministic(doc):
 
 def test_descendants_depth_first(doc):
     a = doc.body.append_child(doc.create_element("a"))
-    b = a.append_child(doc.create_element("b"))
-    c = doc.body.append_child(doc.create_element("c"))
+    a.append_child(doc.create_element("b"))
+    doc.body.append_child(doc.create_element("c"))
     tags = [el.tag for el in doc.document_element.descendants()]
     assert tags == ["body", "a", "b", "c"]
 

@@ -1,7 +1,5 @@
 """Tests for extension features beyond Table I: the SAB timer and the CLI."""
 
-import pytest
-
 from repro.attacks import create
 from repro.attacks.registry import EXTENSION_ATTACKS
 from repro.attacks.timing.sab_timer import SabTimerAttack

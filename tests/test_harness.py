@@ -1,7 +1,5 @@
 """Integration tests for the experiment harnesses (small configurations)."""
 
-import pytest
-
 from repro.attacks.expected import expected_matrix
 from repro.harness import (
     LAUNCH_BUG_REGRESSIONS,

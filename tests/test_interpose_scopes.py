@@ -128,6 +128,9 @@ def test_worker_scope_onmessage_trap_is_native_by_default():
     loop = EventLoop(sim, "w", task_dispatch_cost=0)
     url = parse_url("https://app.example/worker.js")
     ws = WorkerScope(loop, url.origin, url)
-    handler = lambda event: None
+
+    def handler(event):
+        return None
+
     ws.onmessage = handler
     assert ws.onmessage is handler

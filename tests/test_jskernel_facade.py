@@ -1,10 +1,8 @@
 """Tests for the JSKernel facade and configuration surface."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.kernel import JSKernel, KernelEvent, KernelEventQueue, SchedulingGrid
-from repro.kernel.kobjects import CANCELLED, READY
 from repro.kernel.policies import DeterministicSchedulingPolicy
 from repro.runtime import Browser, chrome
 from repro.runtime.simtime import ms

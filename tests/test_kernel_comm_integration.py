@@ -1,6 +1,5 @@
 """Integration tests for the kernel/user message overlay (paper §III-E2)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.kernel import comm

@@ -20,7 +20,9 @@ def kspace():
 
 def test_dispatch_order_follows_predicted_time(kspace):
     order = []
-    early = kspace.scheduler.register("timeout", {"default": lambda: order.append("early")}, hint=ms(1))
+    early = kspace.scheduler.register(
+        "timeout", {"default": lambda: order.append("early")}, hint=ms(1)
+    )
     late = kspace.scheduler.register("raf", {"default": lambda: order.append("late")})
     # confirm in the "wrong" order: late first
     kspace.scheduler.confirm(late)
@@ -33,8 +35,12 @@ def test_dispatch_order_follows_predicted_time(kspace):
 def test_pending_head_blocks_later_events(kspace):
     """Paper §III-D3: 'if pending, the dispatcher will wait'."""
     order = []
-    head = kspace.scheduler.register("timeout", {"default": lambda: order.append("head")}, hint=ms(1))
-    tail = kspace.scheduler.register("timeout", {"default": lambda: order.append("tail")}, hint=ms(2))
+    head = kspace.scheduler.register(
+        "timeout", {"default": lambda: order.append("head")}, hint=ms(1)
+    )
+    tail = kspace.scheduler.register(
+        "timeout", {"default": lambda: order.append("tail")}, hint=ms(2)
+    )
     kspace.scheduler.confirm(tail)
     # real time passes; tail is confirmed but must NOT run before head
     kspace.loop.sim.schedule(ms(50), lambda: kspace.scheduler.confirm(head))
@@ -44,8 +50,12 @@ def test_pending_head_blocks_later_events(kspace):
 
 def test_cancelled_head_is_discarded(kspace):
     order = []
-    head = kspace.scheduler.register("timeout", {"default": lambda: order.append("head")}, hint=ms(1))
-    tail = kspace.scheduler.register("timeout", {"default": lambda: order.append("tail")}, hint=ms(2))
+    head = kspace.scheduler.register(
+        "timeout", {"default": lambda: order.append("head")}, hint=ms(1)
+    )
+    tail = kspace.scheduler.register(
+        "timeout", {"default": lambda: order.append("tail")}, hint=ms(2)
+    )
     kspace.scheduler.confirm(tail)
     kspace.scheduler.cancel(head)
     kspace.loop.sim.run()

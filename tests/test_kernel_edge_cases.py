@@ -3,7 +3,7 @@
 import pytest
 
 from repro.defenses import make_browser
-from repro.errors import NullDerefError, SecurityError
+from repro.errors import NullDerefError
 from repro.runtime.origin import parse_url
 from repro.runtime.simtime import ms
 

@@ -7,7 +7,6 @@ from repro.kernel import comm
 from repro.kernel.kclock import KernelClock, KernelPerformance
 from repro.kernel.kobjects import (
     CANCELLED,
-    DISPATCHED,
     PENDING,
     READY,
     KernelEvent,

@@ -1,10 +1,7 @@
 """Integration tests for kernel thread management."""
 
-import pytest
-
 from repro.errors import SecurityError
 from repro.kernel.threadmgr import KernelWorkerStub
-from repro.runtime.network import Resource
 from repro.runtime.origin import parse_url
 from repro.runtime.simtime import ms
 

@@ -101,9 +101,6 @@ def test_redirect_resource_reports_final_url(net):
 
 
 def test_jitter_draws_from_seeded_rng():
-    sim = Simulator()
-    loop = EventLoop(sim, "t", task_dispatch_cost=0)
-
     def run_with_seed(seed):
         network = SimNetwork(random.Random(seed), base_latency_ns=ms(8), jitter_ns=ms(4),
                              bandwidth_bytes_per_ms=1_000)

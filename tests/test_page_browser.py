@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.runtime import Browser, by_name, chrome, edge, firefox, vulnerable
+from repro.runtime import by_name, chrome, edge, firefox, vulnerable
 from repro.runtime.network import Resource
 from repro.runtime.origin import parse_url
 from repro.runtime.profiles import ALL_BUGS

@@ -82,7 +82,6 @@ def test_extracted_policy_blocks_exploit_but_not_benign_use():
     from repro.runtime.simtime import ms
 
     result = extract_policy_for("cve-2013-1714")
-    kernel = JSKernel(policies=[result.policy])
 
     # exploit blocked
     attack_result_browser = Browser(profile=vulnerable("firefox"), seed=3)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.runtime.eventloop import EventLoop
-from repro.runtime.promises import FULFILLED, PENDING, REJECTED, SimPromise
+from repro.runtime.promises import FULFILLED, PENDING, SimPromise
 from repro.runtime.simulator import Simulator
 
 

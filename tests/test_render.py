@@ -4,7 +4,7 @@ import pytest
 
 from repro.runtime.dom import Document
 from repro.runtime.eventloop import EventLoop
-from repro.runtime.render import RenderCosts, Renderer
+from repro.runtime.render import Renderer
 from repro.runtime.simtime import FRAME_INTERVAL, ms
 from repro.runtime.simulator import Simulator
 

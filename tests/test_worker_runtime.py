@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.errors import NullDerefError, SecurityError, UseAfterFreeError
-from repro.runtime import Browser, chrome, vulnerable
+from repro.errors import NullDerefError, UseAfterFreeError
+from repro.runtime import Browser, chrome
 from repro.runtime.network import Resource
 from repro.runtime.origin import parse_url
 from repro.runtime.simtime import ms

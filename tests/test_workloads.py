@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.runtime.rng import hash_seed
 from repro.workloads import (
     CODEPEN_APPS,
     DROMAEO_TESTS,
