@@ -14,6 +14,12 @@ Commands:
       python -m repro trace <matrix|table2|dromaeo|attack NAME>
                             [--out FILE] [--timeline] [--defense NAME]
 
+* ``analyze``              — causal analysis of one scenario's trace::
+
+      python -m repro analyze <races|determinism|critpath> <attack>
+                              [--defense NAME] [--seed N] [--seeds N,N,...]
+                              [--json] [--out FILE]
+
 Any command also accepts ``--metrics``: the run is captured under a
 tracer and a metrics summary (task counts, queueing-delay and kernel
 latency histograms) is printed afterwards.
@@ -21,6 +27,7 @@ latency histograms) is printed afterwards.
 
 from __future__ import annotations
 
+import json
 import sys
 
 from .analysis.tables import render_series, render_table
@@ -102,6 +109,35 @@ TRACE_USAGE = (
     "[--out FILE] [--timeline] [--defense NAME]"
 )
 
+ANALYZE_USAGE = (
+    "usage: python -m repro analyze <races|determinism|critpath> <attack> "
+    "[--defense NAME] [--seed N] [--seeds N,N,...] [--json] [--out FILE]"
+)
+
+
+def _die(message: str) -> None:
+    """Print a clear error to stderr and exit non-zero."""
+    print(f"error: {message}", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def _check_attack(name: str) -> str:
+    if name not in attack_names():
+        _die(
+            f"unknown attack {name!r}; "
+            f"run 'python -m repro attacks' for the list"
+        )
+    return name
+
+
+def _check_defense(name: str) -> str:
+    if name not in available():
+        _die(
+            f"unknown defense {name!r}; "
+            f"run 'python -m repro defenses' for the list"
+        )
+    return name
+
 
 def _flag_value(args, flag, default):
     """Pop ``--flag VALUE`` from ``args`` (in place)."""
@@ -149,7 +185,7 @@ def _cmd_trace(args) -> None:
             if len(args) < 2:
                 print(TRACE_USAGE)
                 raise SystemExit(2)
-            create_attack(args[1]).run(defense)
+            create_attack(_check_attack(args[1])).run(_check_defense(defense))
         else:
             print(TRACE_USAGE)
             raise SystemExit(2)
@@ -167,6 +203,56 @@ def _cmd_trace(args) -> None:
         print(tracer.metrics.format())
 
 
+def _cmd_analyze(args) -> None:
+    """Causal analysis: races, determinism audit, critical-path profile."""
+    args = list(args)
+    out = _flag_value(args, "--out", "")
+    defense = _check_defense(_flag_value(args, "--defense", "jskernel"))
+    seed_arg = _flag_value(args, "--seed", "0")
+    seeds_arg = _flag_value(args, "--seeds", "0,1,2")
+    as_json = "--json" in args
+    if as_json:
+        args.remove("--json")
+    if len(args) < 2:
+        print(ANALYZE_USAGE)
+        raise SystemExit(2)
+    mode, attack = args[0], _check_attack(args[1])
+    try:
+        seed = int(seed_arg)
+        seeds = tuple(int(s) for s in seeds_arg.split(",") if s != "")
+    except ValueError:
+        _die(f"--seed/--seeds take integers, got {seed_arg!r} / {seeds_arg!r}")
+
+    # imported lazily: the analysers pull in the whole attack registry
+    from .analysis.critpath import format_critpath, profile_scenario
+    from .analysis.determinism import audit_scenario, format_audit
+    from .analysis.races import analyze_scenario, format_races
+
+    if mode == "races":
+        report = analyze_scenario(attack, defense, seed=seed)
+        rendered = format_races(report)
+    elif mode == "determinism":
+        if len(seeds) < 2:
+            _die(f"determinism audit needs at least two seeds, got {seeds_arg!r}")
+        report = audit_scenario(attack, defense, seeds=seeds)
+        rendered = format_audit(report)
+    elif mode == "critpath":
+        report = profile_scenario(attack, defense, seed=seed)
+        rendered = format_critpath(report)
+    else:
+        _die(f"unknown analyze mode {mode!r}; expected races, determinism or critpath")
+
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {out}")
+    if as_json:
+        print(payload)
+    else:
+        print(rendered)
+
+
 COMMANDS = {
     "matrix": _cmd_matrix,
     "table2": _cmd_table2,
@@ -176,6 +262,7 @@ COMMANDS = {
     "attacks": _cmd_attacks,
     "defenses": _cmd_defenses,
     "trace": _cmd_trace,
+    "analyze": _cmd_analyze,
 }
 
 

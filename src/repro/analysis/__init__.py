@@ -1,5 +1,12 @@
-"""Measurement analysis: statistics, distinguishability, table rendering."""
+"""Measurement analysis: statistics, distinguishability, table rendering,
+and causal analysis over traces (happens-before, races, critical paths).
 
+The determinism auditor lives in :mod:`repro.analysis.determinism` and is
+imported directly by its users — pulling it in here would cycle through
+:mod:`repro.attacks`, which itself imports this package.
+"""
+
+from .critpath import format_critpath, profile_events, profile_scenario
 from .distinguish import (
     SUCCESS_ACCURACY,
     SUCCESS_T_STAT,
@@ -8,6 +15,8 @@ from .distinguish import (
     held_out_accuracy,
     welch_t,
 )
+from .hbgraph import HBGraph, build_hb_graph, run_pids
+from .races import analyze_races, detect_races, format_races
 from .stats import (
     cdf_points,
     cosine_similarity,
@@ -20,20 +29,29 @@ from .stats import (
 from .tables import render_cdf_summary, render_matrix, render_series, render_table
 
 __all__ = [
+    "HBGraph",
     "SUCCESS_ACCURACY",
     "SUCCESS_T_STAT",
+    "analyze_races",
     "best_threshold_accuracy",
+    "build_hb_graph",
     "cdf_points",
     "cosine_similarity",
+    "detect_races",
     "distinguishable",
+    "format_critpath",
+    "format_races",
     "held_out_accuracy",
     "mean",
     "median",
     "percentile",
+    "profile_events",
+    "profile_scenario",
     "render_cdf_summary",
     "render_matrix",
     "render_series",
     "render_table",
+    "run_pids",
     "stdev",
     "summarize",
     "welch_t",

@@ -1,0 +1,139 @@
+"""Critical-path profiling: where did the end-to-end time go?
+
+Walks the happens-before graph backward from the run's last event,
+always stepping to the latest-finishing predecessor, which yields the
+chain of events that actually bounded the run's makespan.  The walk then
+replays that chain forward and attributes every nanosecond of the span
+``[path start, run end]`` to one bucket:
+
+* ``exec_ns`` — time inside task spans on the path (callback execution);
+* ``queue_ns`` — task queueing delay (a ready task waiting behind the
+  thread's previous task), carved out of the gap before each span from
+  its recorded ``queue_delay_ns``;
+* ``kernel_ns`` — kernel pacing overhead: the confirm→dispatch latency
+  of kernel events on the path (the cost JSKernel adds to hold events to
+  their predicted grid times);
+* ``wait_ns`` — everything else: timers pending, network in flight,
+  simulated think time.
+
+The four buckets sum exactly to ``total_ns`` by construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .hbgraph import HBGraph, build_hb_graph, run_pids
+
+
+def _critical_path(graph: HBGraph) -> List:
+    """Backward walk from the latest-finishing event, forward order."""
+    if not graph.events:
+        return []
+    terminal = max(graph.events, key=lambda e: (e.end_ts, e.index))
+    path = [terminal]
+    node = terminal
+    while node.preds:
+        node = max((graph.events[i] for i in node.preds), key=lambda e: (e.end_ts, e.index))
+        path.append(node)
+    path.reverse()
+    return path
+
+
+def profile_events(events: List[dict], pid: Optional[int] = None) -> dict:
+    """Critical-path latency breakdown for one run (JSON-shaped)."""
+    graph = build_hb_graph(events, pid=pid)
+    path = _critical_path(graph)
+    if not path:
+        return {
+            "pid": graph.pid,
+            "total_ns": 0,
+            "exec_ns": 0,
+            "queue_ns": 0,
+            "kernel_ns": 0,
+            "wait_ns": 0,
+            "path_events": 0,
+            "steps": [],
+        }
+
+    start = path[0].ts
+    end = path[-1].end_ts
+    exec_ns = queue_ns = kernel_ns = wait_ns = 0
+    steps = []
+    prev_end = start
+    for node in path:
+        gap = max(node.ts - prev_end, 0)
+        carved = 0
+        raw = node.raw
+        if raw.get("ph") == "X":
+            carved = min(raw.get("args", {}).get("queue_delay_ns", 0), gap)
+            queue_ns += carved
+        elif raw.get("cat") == "kernel-event" and raw.get("ph") == "e":
+            carved = min(raw.get("args", {}).get("dispatch_latency_ns", 0), gap)
+            kernel_ns += carved
+        wait_ns += gap - carved
+        contrib = max(node.end_ts - max(node.ts, prev_end), 0)
+        if raw.get("ph") == "X":
+            exec_ns += contrib
+        else:
+            wait_ns += contrib  # non-span events have zero width anyway
+        steps.append(
+            {
+                "name": node.name,
+                "thread": node.thread,
+                "ts_ns": node.ts,
+                "gap_ns": gap,
+                "span_ns": contrib,
+            }
+        )
+        prev_end = max(prev_end, node.end_ts)
+
+    return {
+        "pid": graph.pid,
+        "total_ns": end - start,
+        "exec_ns": exec_ns,
+        "queue_ns": queue_ns,
+        "kernel_ns": kernel_ns,
+        "wait_ns": wait_ns,
+        "path_events": len(path),
+        "steps": steps,
+    }
+
+
+def profile_scenario(attack_name: str, defense_name: str, seed: int = 0) -> dict:
+    """Run a scenario traced and profile every run's critical path."""
+    # imported here: scenario -> attacks -> analysis would otherwise cycle
+    from .scenario import run_traced_scenario
+
+    tracer, outcome = run_traced_scenario(attack_name, defense_name, seed=seed)
+    runs = [profile_events(tracer.events, pid=pid) for pid in run_pids(tracer.events)]
+    return {
+        "scenario": attack_name,
+        "defense": defense_name,
+        "seed": seed,
+        "outcome": outcome,
+        "runs": runs,
+    }
+
+
+def format_critpath(report: dict) -> str:
+    """Human-readable rendering of a :func:`profile_scenario` report."""
+    lines = [
+        f"scenario: {report['scenario']} vs {report['defense']} (seed {report['seed']})",
+        f"outcome:  {report['outcome']}",
+    ]
+    for run in report["runs"]:
+        total = run["total_ns"] or 1
+        lines.append(
+            f"  run {run['pid']}: {run['total_ns']} ns end-to-end over "
+            f"{run['path_events']} path events"
+        )
+        for bucket, label in (
+            ("exec_ns", "callback execution"),
+            ("queue_ns", "task queueing"),
+            ("kernel_ns", "kernel overhead"),
+            ("wait_ns", "waiting (timers/network)"),
+        ):
+            value = run[bucket]
+            lines.append(f"    {label:<26} {value:>12} ns  ({100.0 * value / total:5.1f}%)")
+    return "\n".join(lines)

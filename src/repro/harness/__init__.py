@@ -1,5 +1,13 @@
 """Experiment harnesses regenerating the paper's tables and figures."""
 
+from .audit import (
+    AUDIT_SEEDS,
+    DETERMINISTIC_DEFENSES,
+    assert_deterministic,
+    determinism_matrix,
+    determinism_violations,
+    render_determinism,
+)
 from .compat import (
     LAUNCH_BUG_REGRESSIONS,
     api_compat_counts,
@@ -20,16 +28,22 @@ from .perf import (
 )
 
 __all__ = [
+    "AUDIT_SEEDS",
+    "DETERMINISTIC_DEFENSES",
     "FIGURE2_DEFENSES",
     "FIGURE2_SIZES",
     "LAUNCH_BUG_REGRESSIONS",
     "TABLE2_DEFENSES",
     "TableOneResult",
     "api_compat_counts",
+    "assert_deterministic",
+    "determinism_matrix",
+    "determinism_violations",
     "dom_similarity_survey",
     "dromaeo_overhead",
     "figure2_script_parsing",
     "figure3_cdf",
+    "render_determinism",
     "run_table1",
     "table2_svg_loopscan",
     "table3_raptor",

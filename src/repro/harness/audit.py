@@ -1,0 +1,84 @@
+"""Determinism as a harness property.
+
+The matrix harness answers "did the defense stop the attack"; this module
+answers the paper's stronger claim — that JSKernel's general policy makes
+the dispatch schedule a function of the program alone (§III-D2).  It runs
+the determinism auditor (:mod:`repro.analysis.determinism`) over a set of
+scenarios and asserts divergence 0 for the defenses that promise it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.determinism import audit_scenario
+
+#: Defenses whose scheduling policy promises a seed-independent dispatch
+#: schedule (the JSKernel general policy, with or without CVE policies).
+DETERMINISTIC_DEFENSES: Tuple[str, ...] = ("jskernel", "jskernel-nocve")
+
+#: Default seed triple for audits (the acceptance bar is ≥ 3 seeds).
+AUDIT_SEEDS: Tuple[int, ...] = (0, 1, 2)
+
+
+def determinism_matrix(
+    attacks: Sequence[str],
+    defenses: Sequence[str],
+    seeds: Sequence[int] = AUDIT_SEEDS,
+) -> Dict[str, Dict[str, dict]]:
+    """Audit every (attack, defense) cell; returns the audit reports."""
+    reports: Dict[str, Dict[str, dict]] = {}
+    for attack_name in attacks:
+        reports[attack_name] = {}
+        for defense_name in defenses:
+            reports[attack_name][defense_name] = audit_scenario(
+                attack_name, defense_name, seeds=tuple(seeds)
+            )
+    return reports
+
+
+def determinism_violations(reports: Dict[str, Dict[str, dict]]) -> List[str]:
+    """Cells where a determinism-promising defense diverged.
+
+    Baseline defenses may diverge freely (that is the point of the
+    comparison); only :data:`DETERMINISTIC_DEFENSES` are held to 0.
+    """
+    violations = []
+    for attack_name, row in reports.items():
+        for defense_name, report in row.items():
+            if defense_name in DETERMINISTIC_DEFENSES and report["divergence"] != 0:
+                violations.append(
+                    f"{attack_name} vs {defense_name}: "
+                    f"divergence {report['divergence']}"
+                )
+    return violations
+
+
+def assert_deterministic(
+    attack_name: str,
+    defense_name: str,
+    seeds: Sequence[int] = AUDIT_SEEDS,
+) -> dict:
+    """Audit one cell and raise ``AssertionError`` on divergence."""
+    report = audit_scenario(attack_name, defense_name, seeds=tuple(seeds))
+    if report["divergence"] != 0:
+        raise AssertionError(
+            f"{attack_name} vs {defense_name} diverged across seeds "
+            f"{list(seeds)}: {report['first_divergence']}"
+        )
+    return report
+
+
+def render_determinism(reports: Dict[str, Dict[str, dict]]) -> str:
+    """Text table: divergence per cell, with the promise marked."""
+    lines = []
+    for attack_name, row in reports.items():
+        for defense_name, report in row.items():
+            promised = defense_name in DETERMINISTIC_DEFENSES
+            verdict = "deterministic" if report["deterministic"] else "seed-dependent"
+            marker = " [required]" if promised else ""
+            lines.append(
+                f"{attack_name} vs {defense_name}: divergence "
+                f"{report['divergence']} ({verdict}){marker}"
+            )
+    return "\n".join(lines)

@@ -28,6 +28,20 @@ class TableOneResult:
         #: Metrics snapshot of the run, when captured under an active
         #: tracer (see :mod:`repro.trace`); ``None`` otherwise.
         self.metrics: Optional[dict] = None
+        #: attack -> defense -> determinism audit report, populated when
+        #: ``run_table1`` is called with ``determinism_seeds``.
+        self.determinism: Optional[Dict[str, Dict[str, dict]]] = None
+
+    def determinism_violations(self) -> List[str]:
+        """Determinism-promising cells that diverged (empty when clean).
+
+        Returns ``[]`` when the run was not audited.
+        """
+        if self.determinism is None:
+            return []
+        from .audit import determinism_violations
+
+        return determinism_violations(self.determinism)
 
     def agreement(self) -> float:
         """Fraction of cells agreeing with the reconstructed paper matrix."""
@@ -59,11 +73,15 @@ def run_table1(
     attacks: Optional[Sequence[str]] = None,
     defenses: Optional[Sequence[str]] = None,
     seed: int = 0,
+    determinism_seeds: Optional[Sequence[int]] = None,
 ) -> TableOneResult:
     """Evaluate every (attack, defense) cell.
 
     The full 22×8 run takes a few seconds of wall time; tests typically
-    pass a subset.
+    pass a subset.  Passing ``determinism_seeds`` (≥ 2 seeds) additionally
+    audits every cell's dispatch schedule across those seeds and attaches
+    the reports as :attr:`TableOneResult.determinism`, letting callers
+    assert determinism as a property of the whole matrix run.
     """
     attacks = list(attacks or attack_names())
     defenses = list(defenses or TABLE1_DEFENSES)
@@ -80,4 +98,10 @@ def run_table1(
     tracer = current_tracer()
     if tracer.enabled:
         outcome.metrics = tracer.metrics.snapshot()
+    if determinism_seeds is not None:
+        from .audit import determinism_matrix
+
+        outcome.determinism = determinism_matrix(
+            attacks, defenses, seeds=determinism_seeds
+        )
     return outcome

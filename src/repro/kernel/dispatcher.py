@@ -127,6 +127,7 @@ class Dispatcher:
                         "predicted_ns": event.predicted_time,
                         "confirm_latency_ns": event.confirm_time - event.reg_time,
                         "dispatch_latency_ns": dispatch_latency,
+                        "ctx": sim.trace_context,
                     },
                 )
             tracer.metrics.counter(f"kernel.dispatched.{event.kind}").inc()

@@ -122,11 +122,40 @@ class KernelEventQueue:
     def __init__(self):
         self._heap: List[Tuple[int, int, KernelEvent]] = []
         self._by_id: Dict[int, KernelEvent] = {}
+        self._sim = None
+        self._trace_row = ""
+        self._last_depth = -1
+
+    def bind_trace(self, sim, row: str) -> None:
+        """Emit depth counters onto ``row`` of ``sim``'s tracer."""
+        self._sim = sim
+        self._trace_row = row
+
+    def _depth_changed(self) -> None:
+        # one counter sample per net depth change; ``_by_id`` is the live
+        # membership (heap entries linger until lazily pruned)
+        sim = self._sim
+        if sim is None or not sim.tracer.enabled:
+            return
+        depth = len(self._by_id)
+        if depth == self._last_depth:
+            return
+        self._last_depth = depth
+        sim.tracer.counter(
+            sim.trace_pid,
+            self._trace_row,
+            "kernel.queue_depth",
+            sim.now,
+            {"depth": depth},
+            cat="kernel",
+        )
+        sim.tracer.metrics.gauge(f"kernel.queue.depth.{self._trace_row}").set(depth)
 
     def push(self, event: KernelEvent) -> KernelEvent:
         """Insert an event at its predicted time."""
         heapq.heappush(self._heap, (event.predicted_time, event.id, event))
         self._by_id[event.id] = event
+        self._depth_changed()
         return event
 
     def top(self) -> Optional[KernelEvent]:
@@ -143,12 +172,14 @@ class KernelEventQueue:
             return None
         _t, _i, event = heapq.heappop(self._heap)
         self._by_id.pop(event.id, None)
+        self._depth_changed()
         return event
 
     def remove(self, event: KernelEvent) -> None:
         """Remove an event regardless of predicted time (lazy)."""
         event.status = DISPATCHED if event.status == DISPATCHED else CANCELLED
         self._by_id.pop(event.id, None)
+        self._depth_changed()
 
     def lookup(self, event_id: int) -> Optional[KernelEvent]:
         """Find an event by id."""
@@ -172,11 +203,13 @@ class KernelEventQueue:
     def remove_by_id(self, event_id: int) -> None:
         """Drop an event from the id index (heap entry pruned lazily)."""
         self._by_id.pop(event_id, None)
+        self._depth_changed()
 
     def _prune(self) -> None:
         while self._heap and self._heap[0][2].status in (CANCELLED, DISPATCHED):
             _t, _i, event = heapq.heappop(self._heap)
             self._by_id.pop(event.id, None)
+        self._depth_changed()
 
     def __len__(self) -> int:
         return sum(1 for _t, _i, e in self._heap if e.status != CANCELLED)

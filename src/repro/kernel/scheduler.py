@@ -114,7 +114,11 @@ class Scheduler:
                 event.trace_span,
                 event.reg_time,
                 cat="kernel-event",
-                args={"predicted_ns": predicted, "label": event.label},
+                args={
+                    "predicted_ns": predicted,
+                    "label": event.label,
+                    "ctx": sim.trace_context,
+                },
             )
             tracer.metrics.counter(f"kernel.registered.{kind}").inc()
         return event
@@ -190,7 +194,11 @@ class Scheduler:
                     event.trace_span,
                     event.confirm_time,
                     cat="kernel-event",
-                    args={"stage": "confirm", "confirm_latency_ns": latency},
+                    args={
+                        "stage": "confirm",
+                        "confirm_latency_ns": latency,
+                        "ctx": sim.trace_context,
+                    },
                 )
             tracer.metrics.counter("kernel.confirmed").inc()
             tracer.metrics.histogram(
@@ -249,7 +257,7 @@ class Scheduler:
                 event.trace_span,
                 sim.now,
                 cat="kernel-event",
-                args={"cancelled": case},
+                args={"cancelled": case, "ctx": sim.trace_context},
             )
         tracer.metrics.counter(f"kernel.cancelled.{case}").inc()
 

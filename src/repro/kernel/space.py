@@ -35,6 +35,7 @@ class KernelSpace:
         self.grid = grid
         self.label = label
         self.queue = KernelEventQueue()
+        self.queue.bind_trace(loop.sim, f"kernel:{label}")
         self.clock = KernelClock()
         self.scheduler = Scheduler(self)
         self.dispatcher = Dispatcher(self)
@@ -61,13 +62,15 @@ class KernelSpace:
             self.policy.on_api_call(api, self, info or {})
         except SecurityError as veto:
             if tracer.enabled:
+                frame = sim.current_frame
+                ctx = frame.thread_name if frame is not None else sim.native_context
                 tracer.instant(
                     sim.trace_pid,
                     self.scheduler.trace_row,
                     "policy.veto",
                     sim.now,
                     cat="policy",
-                    args={"api": api, "rule": str(veto)},
+                    args={"api": api, "rule": str(veto), "ctx": ctx},
                 )
                 tracer.metrics.counter("kernel.policy_vetoes").inc()
             raise

@@ -136,7 +136,7 @@ class ThreadManager:
                 "kthread.spawn",
                 sim.now,
                 cat="kernel",
-                args={"kthread": f"kthread-{kthread.id}"},
+                args={"kthread": f"kthread-{kthread.id}", "ctx": sim.trace_context},
             )
             tracer.metrics.counter("kernel.threads_spawned").inc()
         return stub
@@ -389,6 +389,7 @@ class ThreadManager:
                 args={
                     "kthread": f"kthread-{kthread.id}",
                     "user_level_only": bool(claimed),
+                    "ctx": sim.trace_context,
                 },
             )
             tracer.metrics.counter("kernel.threads_terminated").inc()

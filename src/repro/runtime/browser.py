@@ -36,7 +36,7 @@ class Browser:
         self.profile = profile or chrome()
         self.sim = Simulator()
         self.rng = RngService(seed)
-        self.heap = SimHeap(time_fn=lambda: self.sim.now)
+        self.heap = SimHeap(time_fn=lambda: self.sim.now, sim=self.sim)
         self.network = SimNetwork(
             self.rng.stream("network"),
             base_latency_ns=self.profile.network_base_latency_ns,

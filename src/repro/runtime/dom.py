@@ -20,6 +20,7 @@ import itertools
 from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import SimulationError
+from ..trace import state_access
 
 #: Cost of one createElement call.
 CREATE_ELEMENT_COST = 600
@@ -36,6 +37,9 @@ class Element:
 
     def __init__(self, document: "Document", tag: str):
         self.node_id = next(_node_ids)
+        # node_id is process-global (fine for repr, unusable in traces);
+        # trace_id restarts per run so captures stay byte-identical
+        self.trace_id = document.sim.next_object_seq("dom")
         self.document = document
         self.tag = tag.lower()
         self.attributes: Dict[str, str] = {}
@@ -52,12 +56,21 @@ class Element:
         #: Pending paint effects (e.g. SVG filters), consumed per frame.
         self.pending_paint_cost = 0
 
+    @property
+    def trace_obj(self) -> str:
+        """Run-deterministic object identity for state-access events."""
+        return f"dom:{self.tag}#{self.trace_id}"
+
+    def _trace_mutation(self, access: str) -> None:
+        state_access(self.document.sim, self.trace_obj, "write", "dom", access=access)
+
     # ------------------------------------------------------------------
     # attributes / tree
     # ------------------------------------------------------------------
     def set_attribute(self, name: str, value: str) -> None:
         """``el.setAttribute(name, value)``; ``src`` starts a load."""
         self.document.sim.consume(ATTRIBUTE_ACCESS_COST)
+        self._trace_mutation("set_attribute")
         self.attributes[name] = value
         self.document.mark_dirty()
         if name == "src" and self.connected:
@@ -71,6 +84,7 @@ class Element:
     def set_style(self, prop: str, value: str) -> None:
         """``el.style.prop = value``."""
         self.document.sim.consume(ATTRIBUTE_ACCESS_COST)
+        self._trace_mutation("set_style")
         self.style[prop] = value
         self.document.mark_dirty()
 
@@ -79,6 +93,7 @@ class Element:
         if child.parent is not None:
             child.parent.children.remove(child)
         self.document.sim.consume(APPEND_CHILD_COST)
+        self._trace_mutation("append_child")
         child.parent = self
         self.children.append(child)
         self.document.mark_dirty()
@@ -91,6 +106,7 @@ class Element:
         if child not in self.children:
             raise SimulationError("removeChild: not a child")
         self.document.sim.consume(APPEND_CHILD_COST)
+        self._trace_mutation("remove_child")
         self.children.remove(child)
         child.parent = None
         self.document.mark_dirty()
@@ -139,6 +155,7 @@ class Document:
         self.document_element = Element.__new__(Element)
         # manual init to avoid begin_resource_load on the root
         self.document_element.node_id = next(_node_ids)
+        self.document_element.trace_id = sim.next_object_seq("dom")
         self.document_element.document = self
         self.document_element.tag = "html"
         self.document_element.attributes = {}

@@ -16,6 +16,7 @@ import itertools
 from typing import Any, Dict, List, Optional
 
 from ..errors import DoubleFreeError, NullDerefError, UseAfterFreeError
+from ..trace import state_access
 
 
 class NativePtr:
@@ -87,13 +88,27 @@ class SimHeap:
     crash can read :attr:`violations`.
     """
 
-    def __init__(self, time_fn=None):
+    def __init__(self, time_fn=None, sim=None):
         self._objects: Dict[int, Any] = {}
         self._freed: Dict[int, AllocationRecord] = {}
         self._records: Dict[int, AllocationRecord] = {}
         self._addrs = itertools.count(0x1000, 0x10)
         self._time_fn = time_fn or (lambda: 0)
+        self.sim = sim
         self.violations: List[str] = []
+
+    def _trace_access(self, ptr: NativePtr, op: str, access: str) -> None:
+        # emitted *before* the safety check so a crashing run still shows
+        # the racing access pair in its trace
+        if self.sim is not None:
+            state_access(
+                self.sim,
+                f"heap:0x{ptr.addr:x}",
+                op,
+                "heap",
+                access=access,
+                detail={"ptr_kind": ptr.kind},
+            )
 
     # ------------------------------------------------------------------
     def alloc(self, obj: Any, kind: str) -> NativePtr:
@@ -105,6 +120,7 @@ class SimHeap:
 
     def free(self, ptr: NativePtr, cve: str = "") -> None:
         """Free the allocation at ``ptr``; double free raises."""
+        self._trace_access(ptr, "write", "free")
         if ptr.addr in self._freed:
             self.violations.append(f"double-free:{ptr.kind}")
             raise DoubleFreeError(f"double free of {ptr.kind} at 0x{ptr.addr:x}", cve=cve)
@@ -117,6 +133,7 @@ class SimHeap:
 
     def deref(self, ptr: NativePtr, cve: str = "") -> Any:
         """Read through ``ptr``; UAF raises."""
+        self._trace_access(ptr, "read", "deref")
         if ptr.addr in self._freed:
             self.violations.append(f"use-after-free:{ptr.kind}")
             raise UseAfterFreeError(

@@ -28,7 +28,7 @@ CLONE_COST_PER_UNIT = 2
 class MessageEvent:
     """The event object delivered to ``onmessage`` handlers."""
 
-    __slots__ = ("data", "origin", "source", "timestamp", "transferred")
+    __slots__ = ("data", "origin", "source", "timestamp", "transferred", "trace_flow")
 
     def __init__(
         self,
@@ -45,6 +45,9 @@ class MessageEvent:
         #: Receiver-side views of transferred objects (share the backing
         #: store of the sender's now-detached references).
         self.transferred = transferred or []
+        #: Flow id pairing the sender's ``postMessage`` instant with the
+        #: receiver's ``message.receive`` (0 when untraced).
+        self.trace_flow = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<MessageEvent data={self.data!r} origin={self.origin!r}>"
@@ -99,14 +102,20 @@ class MessageEndpoint:
         size = payload_size(data)
         sim.consume(POST_MESSAGE_COST + CLONE_COST_PER_UNIT * size)
         tracer = sim.tracer
+        flow = 0
         if tracer.enabled:
+            flow = tracer.next_flow_id()
+            args = {"to": self.peer.name, "size": size, "flow": flow}
+            frame = sim.current_frame
+            if frame is not None and frame.thread_name != self.loop.name:
+                args["ctx"] = frame.thread_name
             tracer.instant(
                 sim.trace_pid,
                 self.loop.name,
                 "postMessage",
                 sim.now,
                 cat="message",
-                args={"to": self.peer.name, "size": size},
+                args=args,
             )
             tracer.metrics.counter("messages.posted").inc()
             tracer.metrics.counter("messages.clone_units").inc(size)
@@ -125,6 +134,7 @@ class MessageEndpoint:
         event = MessageEvent(
             data, origin=origin, source=self, timestamp=sim.now, transferred=views
         )
+        event.trace_flow = flow
         peer = self.peer
         peer.loop.post(
             peer.deliver,
@@ -139,6 +149,18 @@ class MessageEndpoint:
         if self.closed:
             return
         self.messages_delivered += 1
+        sim = self.loop.sim
+        tracer = sim.tracer
+        if tracer.enabled:
+            tracer.instant(
+                sim.trace_pid,
+                self.loop.name,
+                "message.receive",
+                sim.now,
+                cat="message",
+                args={"from": event.source.name if event.source else "", "flow": event.trace_flow},
+            )
+            tracer.metrics.counter("messages.delivered").inc()
         for handler in list(self.handlers):
             handler(event)
 

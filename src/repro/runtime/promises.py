@@ -87,15 +87,54 @@ class SimPromise:
     # ------------------------------------------------------------------
     def _flush(self) -> None:
         reactions, self._reactions = self._reactions, []
-        for on_fulfilled, on_rejected, child in reactions:
-            self.loop.post_microtask(
-                Microtask(
-                    self._run_reaction,
-                    (on_fulfilled, on_rejected, child),
-                    cost=REACTION_COST,
-                    label=f"{self.label}:reaction",
+        if not reactions:
+            return
+        sim = self.loop.sim
+        tracer = sim.tracer
+        flow = 0
+        if tracer.enabled:
+            frame = sim.current_frame
+            settler = frame.thread_name if frame is not None else sim.native_context
+            if settler != self.loop.name:
+                # settled off-thread: record the causal handoff so the
+                # happens-before builder can order settle before reactions
+                flow = tracer.next_flow_id()
+                tracer.instant(
+                    sim.trace_pid,
+                    settler,
+                    "promise.settle",
+                    sim.now,
+                    cat="promise",
+                    args={"promise": self.label, "state": self.state, "flow": flow},
                 )
+        for on_fulfilled, on_rejected, child in reactions:
+            if flow:
+                fn, args = self._run_traced_reaction, (flow, on_fulfilled, on_rejected, child)
+            else:
+                fn, args = self._run_reaction, (on_fulfilled, on_rejected, child)
+            self.loop.post_microtask(
+                Microtask(fn, args, cost=REACTION_COST, label=f"{self.label}:reaction")
             )
+
+    def _run_traced_reaction(
+        self,
+        flow: int,
+        on_fulfilled: Optional[Callable],
+        on_rejected: Optional[Callable],
+        child: "SimPromise",
+    ) -> None:
+        sim = self.loop.sim
+        tracer = sim.tracer
+        if tracer.enabled:
+            tracer.instant(
+                sim.trace_pid,
+                self.loop.name,
+                "promise.reaction",
+                sim.now,
+                cat="promise",
+                args={"promise": self.label, "flow": flow},
+            )
+        self._run_reaction(on_fulfilled, on_rejected, child)
 
     def _run_reaction(
         self,

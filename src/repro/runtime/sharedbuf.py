@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..errors import SimulationError
+from ..trace import state_access
 from .heap import NativePtr, SimHeap
 from .simtime import MS
 from .simulator import Simulator
@@ -102,6 +103,7 @@ class SharedCounterBuffer:
     def __init__(self, sim: Simulator, label: str = "SharedArrayBuffer"):
         self.sim = sim
         self.label = label
+        self.trace_obj = f"sab:{label}#{sim.next_object_seq('sab')}"
         self._static_value = 0
         self._activity: Optional[RateActivity] = None
         self._history: List[RateActivity] = []
@@ -111,6 +113,7 @@ class SharedCounterBuffer:
     # ------------------------------------------------------------------
     def start_increment_activity(self, rate_per_ms: float) -> None:
         """Declare a tight increment loop starting now at ``rate_per_ms``."""
+        state_access(self.sim, self.trace_obj, "write", "sab", access="increment_start")
         if self._activity is not None:
             self.stop_increment_activity()
         self._activity = RateActivity(self.sim.now, rate_per_ms, self.load_raw())
@@ -119,6 +122,7 @@ class SharedCounterBuffer:
         """End the current increment loop, freezing the counter."""
         if self._activity is None:
             return
+        state_access(self.sim, self.trace_obj, "write", "sab", access="increment_stop")
         self._activity.end = self.sim.now
         self._static_value = self._activity.value_at(self.sim.now)
         self._history.append(self._activity)
@@ -127,6 +131,7 @@ class SharedCounterBuffer:
     def store(self, value: int) -> None:
         """Atomics.store: set the counter (stops any running activity)."""
         self.sim.consume(ELEMENT_ACCESS_COST)
+        state_access(self.sim, self.trace_obj, "write", "sab", access="store")
         self.stop_increment_activity()
         self._static_value = value
 
@@ -136,6 +141,7 @@ class SharedCounterBuffer:
     def load(self) -> int:
         """Atomics.load: read the counter at the caller's local time."""
         self.sim.consume(ELEMENT_ACCESS_COST)
+        state_access(self.sim, self.trace_obj, "read", "sab", access="load")
         return self.load_raw()
 
     def load_raw(self) -> int:

@@ -95,6 +95,14 @@ class Simulator:
         self._seq = itertools.count()
         self._frames: List[ExecutionFrame] = []
         self.events_processed = 0
+        # per-run deterministic id streams for traced objects (DOM nodes,
+        # shared buffers...) — process-global counters would break the
+        # byte-identical-capture guarantee
+        self._object_seqs: dict = {}
+        # label/ordinal of the scheduled call currently dispatching, for
+        # attributing frameless (native) work in traces
+        self._dispatch_label = "init"
+        self._dispatch_ordinal = 0
         #: The active capture's tracer (the shared disabled one outside a
         #: capture); every runtime/kernel component reaches it through its
         #: simulator.  ``trace_pid`` is this run's Chrome-trace process id.
@@ -143,6 +151,31 @@ class Simulator:
         if self._frames:
             self._frames[-1].consume(cost_ns)
 
+    @property
+    def native_context(self) -> str:
+        """Trace context for work running outside any execution frame.
+
+        Each simulator dispatch gets a distinct ``native:<label>#<n>``
+        context (``n`` is the dispatch ordinal, deterministic per run), so
+        two frameless callbacks are never presented as sequenced on one
+        pseudo-thread when they are in fact causally unrelated.
+        """
+        return f"native:{self._dispatch_label}#{self._dispatch_ordinal}"
+
+    @property
+    def trace_context(self) -> str:
+        """The thread to attribute current work to in trace events:
+        the running frame's thread, or the native pseudo-thread."""
+        if self._frames:
+            return self._frames[-1].thread_name
+        return self.native_context
+
+    def next_object_seq(self, prefix: str) -> int:
+        """Next id in the per-run ``prefix`` stream (1-based, deterministic)."""
+        seq = self._object_seqs.get(prefix, 0) + 1
+        self._object_seqs[prefix] = seq
+        return seq
+
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
@@ -179,6 +212,8 @@ class Simulator:
                 continue
             self._time = time
             self.events_processed += 1
+            self._dispatch_label = call.label or "call"
+            self._dispatch_ordinal = self.events_processed
             call.fn()
             return True
         return False

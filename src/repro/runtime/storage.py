@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Tuple
 
 from ..errors import SecurityError
+from ..trace import state_access
 from .origin import Origin
 
 #: Cost of one indexedDB operation (transaction + (de)serialisation).
@@ -34,6 +35,14 @@ class IndexedDBStore:
     def put(self, origin: Origin, key: str, value: Any, private_mode: bool) -> None:
         """``objectStore.put(value, key)``."""
         self.sim.consume(IDB_OP_COST)
+        state_access(
+            self.sim,
+            f"idb:{origin.serialize()}:{key}",
+            "write",
+            "idb",
+            access="put",
+            detail={"private": private_mode},
+        )
         self._check_policy(private_mode)
         slot = (origin.serialize(), key)
         if private_mode and not self.persist_private_writes:
@@ -46,6 +55,14 @@ class IndexedDBStore:
     def get(self, origin: Origin, key: str, private_mode: bool) -> Optional[Any]:
         """``objectStore.get(key)``."""
         self.sim.consume(IDB_OP_COST)
+        state_access(
+            self.sim,
+            f"idb:{origin.serialize()}:{key}",
+            "read",
+            "idb",
+            access="get",
+            detail={"private": private_mode},
+        )
         self._check_policy(private_mode)
         slot = (origin.serialize(), key)
         if private_mode:

@@ -157,13 +157,19 @@ class WorkerAgent:
 
         tracer = host.sim.tracer
         if tracer.enabled:
+            frame = host.sim.current_frame
+            ctx = frame.thread_name if frame is not None else host.sim.native_context
             tracer.instant(
                 host.sim.trace_pid,
                 self.name,
                 "worker.spawn",
                 host.sim.now,
                 cat="worker",
-                args={"src": self.script_url.serialize(), "parent": parent_loop.name},
+                args={
+                    "src": self.script_url.serialize(),
+                    "parent": parent_loop.name,
+                    "ctx": ctx,
+                },
             )
             tracer.metrics.counter("workers.spawned").inc()
 
@@ -414,13 +420,15 @@ class WorkerAgent:
         self.termination_reason = reason
         tracer = self.host.sim.tracer
         if tracer.enabled:
+            frame = self.host.sim.current_frame
+            ctx = frame.thread_name if frame is not None else self.host.sim.native_context
             tracer.instant(
                 self.host.sim.trace_pid,
                 self.name,
                 "worker.terminate",
                 self.host.sim.now,
                 cat="worker",
-                args={"reason": reason},
+                args={"reason": reason, "ctx": ctx},
             )
             tracer.metrics.counter("workers.terminated").inc()
         self.host.sim.schedule(

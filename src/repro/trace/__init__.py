@@ -24,6 +24,7 @@ the disabled :data:`NULL_TRACER`, whose cost at each instrumentation site
 is one attribute load and one branch.
 """
 
+from .access import state_access
 from .export import chrome_trace, dump_chrome_trace, format_timeline, write_chrome_trace
 from .metrics import (
     LATENCY_BUCKETS_NS,
@@ -49,5 +50,6 @@ __all__ = [
     "current_tracer",
     "dump_chrome_trace",
     "format_timeline",
+    "state_access",
     "write_chrome_trace",
 ]

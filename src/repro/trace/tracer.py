@@ -50,6 +50,7 @@ class Tracer:
         self.runs: Dict[int, str] = {}
         self._next_pid = 1
         self._next_span_id = 1
+        self._next_flow_id = 1
 
     # ------------------------------------------------------------------
     # runs and threads
@@ -76,6 +77,19 @@ class Tracer:
         span_id = self._next_span_id
         self._next_span_id += 1
         return span_id
+
+    def next_flow_id(self) -> int:
+        """Allocate a tracer-local id linking a cause event to its effects.
+
+        Flow ids pair cross-thread event endpoints — a ``postMessage``
+        instant with its ``message.receive``, a ``promise.settle`` with its
+        reactions — so the happens-before builder can add the edge.  The
+        first event emitted with a given flow id is the cause; every later
+        event carrying it is an effect.
+        """
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        return flow_id
 
     # ------------------------------------------------------------------
     # event emission (callers must check ``enabled`` first)

@@ -10,6 +10,7 @@ from repro.runtime.simtime import ms, us
 from repro.runtime.simulator import Simulator
 from repro.runtime.task import Microtask
 from repro.trace import (
+    LATENCY_BUCKETS_NS,
     NULL_TRACER,
     Counter,
     Histogram,
@@ -91,6 +92,16 @@ def test_histogram_bucket_edges_are_inclusive_upper_bounds():
     assert h.total == 222
     assert h.min == 10
     assert h.max == 101
+
+
+def test_histogram_latency_bucket_boundary_values_stay_in_their_bucket():
+    h = Histogram(LATENCY_BUCKETS_NS)
+    h.record(1_000_000)  # exactly on a bucket edge: inclusive upper bound
+    h.record(1_000_001)  # one past the edge lands in the next bucket
+    edge_index = LATENCY_BUCKETS_NS.index(1_000_000)
+    assert h.counts[edge_index] == 1
+    assert h.counts[edge_index + 1] == 1
+    assert h.count == 2
 
 
 def test_histogram_rejects_bad_bounds():
@@ -200,3 +211,42 @@ def test_two_seeded_captures_are_byte_identical():
     first = dump_chrome_trace(_capture_matrix_slice())
     second = dump_chrome_trace(_capture_matrix_slice())
     assert first == second
+
+
+def test_cancelled_kernel_event_exports_its_end_leg():
+    from repro.defenses import make_browser
+
+    tracer = Tracer()
+    with capture(tracer):
+        browser = make_browser("jskernel")
+        page = browser.open_page("https://example.test/")
+
+        def script(scope):
+            timer_id = scope.setTimeout(lambda: None, 5)
+            scope.setTimeout(lambda: scope.clearTimeout(timer_id), 1)
+
+        page.run_script(script, label="cancel-script")
+        browser.sim.run()
+
+    cancels = [
+        e
+        for e in tracer.events
+        if e["ph"] == "e"
+        and e["cat"] == "kernel-event"
+        and "cancelled" in e["args"]
+    ]
+    assert cancels, "clearTimeout should cancel a registered kernel event"
+    # the cancelled leg closes the span opened at registration
+    begin_ids = {
+        e["id"]
+        for e in tracer.events
+        if e["ph"] == "b" and e["cat"] == "kernel-event"
+    }
+    assert all(e["id"] in begin_ids for e in cancels)
+    # and it survives Chrome-trace export with its id intact
+    exported = json.loads(dump_chrome_trace(tracer))["traceEvents"]
+    exported_cancels = [
+        e for e in exported if e["ph"] == "e" and "cancelled" in e.get("args", {})
+    ]
+    assert len(exported_cancels) == len(cancels)
+    assert all("id" in e for e in exported_cancels)
