@@ -6,19 +6,39 @@ EXPERIMENTS.md records a reference run).
 
 Sizes default to a medium scale that completes in seconds; set
 ``REPRO_BENCH_FULL=1`` for the paper-scale runs (Alexa 500 sites, 25
-raptor repetitions, ...).
+raptor repetitions, ...).  The parallel engine is reachable here too:
+
+* ``REPRO_BENCH_PARALLEL=N``  — shard experiment cells over N worker
+  processes (results are byte-identical to serial, so every shape
+  assertion holds either way);
+* ``REPRO_BENCH_CACHE_DIR=D`` — reuse already-computed cells from the
+  content-addressed result cache rooted at ``D``.
+
+Environment variables are read lazily at call time, never into a
+module-level constant, so setting them programmatically (from a wrapper
+script, another test, or a late ``os.environ`` assignment) takes effect
+regardless of import order.
 """
 
 import os
 
 import pytest
 
-FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
-
 
 def scale(medium, full):
-    """Pick a workload size based on REPRO_BENCH_FULL."""
-    return full if FULL else medium
+    """Pick a workload size based on REPRO_BENCH_FULL (read lazily)."""
+    return full if os.environ.get("REPRO_BENCH_FULL", "") == "1" else medium
+
+
+def engine_kwargs():
+    """``parallel=``/``cache=`` harness kwargs from the environment."""
+    raw = os.environ.get("REPRO_BENCH_PARALLEL", "") or "0"
+    try:
+        workers = int(raw)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_BENCH_PARALLEL must be an integer, got {raw!r}") from exc
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR", "")
+    return {"parallel": workers or None, "cache": cache_dir or None}
 
 
 @pytest.fixture

@@ -5,7 +5,7 @@ the callback of setTimeout increases for all other defenses when the
 size of the file increases."
 """
 
-from conftest import scale
+from conftest import engine_kwargs, scale
 
 from repro.analysis.tables import render_series
 from repro.harness import figure2_script_parsing
@@ -16,7 +16,8 @@ SIZES = [int(mb * 1024 * 1024) for mb in scale((2, 6, 10), (2, 4, 6, 8, 10))]
 
 
 def test_figure2_series(once):
-    series = once(figure2_script_parsing, sizes=SIZES, defenses=FIGURE2_DEFENSES)
+    series = once(figure2_script_parsing, sizes=SIZES, defenses=FIGURE2_DEFENSES,
+                  **engine_kwargs())
     print()
     print(render_series(series, title="=== Figure 2: reported time (ms) vs size (MB) ==="))
 

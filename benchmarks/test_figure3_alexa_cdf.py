@@ -6,7 +6,7 @@ curves hug the native browsers; (2) DeterFox is similar to Firefox;
 overhead than JSKernel.
 """
 
-from conftest import scale
+from conftest import engine_kwargs, scale
 
 from repro.analysis.stats import median
 from repro.analysis.tables import render_cdf_summary
@@ -18,7 +18,7 @@ VISITS = scale(1, 3)
 
 def test_figure3_cdf(once):
     series = once(figure3_cdf, site_count=SITES, visits=VISITS,
-                  configs=FIGURE3_CONFIGS)
+                  configs=FIGURE3_CONFIGS, **engine_kwargs())
     print()
     print(render_cdf_summary(
         series, title=f"=== Figure 3: loading times over {SITES} sites (ms) ==="

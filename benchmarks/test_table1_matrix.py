@@ -5,11 +5,14 @@ Fuzzyfox only clock-edge; DeterFox the determinism rows; Chrome Zero
 clock-edge plus the worker-lifecycle CVEs (via its polyfill).
 """
 
+from conftest import engine_kwargs
+
 from repro.harness import run_table1
 
 
 def test_table1_full_matrix(once):
-    result = once(run_table1)
+    result = once(run_table1, **engine_kwargs())
+    assert result.errors == []
     print()
     print("=== Table I (+: defense prevents the attack, x: vulnerable) ===")
     print(result.render())

@@ -16,7 +16,7 @@ JSKernel, whose cells are pinned to exactly 10/10 and 1/1 by the
 deterministic schedule.
 """
 
-from conftest import scale
+from conftest import engine_kwargs, scale
 
 from repro.analysis.tables import render_table
 from repro.harness import table2_svg_loopscan
@@ -26,7 +26,8 @@ RUNS = scale(3, 25)
 
 
 def test_table2(once):
-    table = once(table2_svg_loopscan, defenses=TABLE2_DEFENSES, runs=RUNS)
+    table = once(table2_svg_loopscan, defenses=TABLE2_DEFENSES, runs=RUNS,
+                 **engine_kwargs())
     rows = [
         [d, v["svg_low_ms"], v["svg_high_ms"], v["loopscan_google_ms"], v["loopscan_youtube_ms"]]
         for d, v in table.items()

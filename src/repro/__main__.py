@@ -5,6 +5,13 @@ Commands:
 * ``matrix [--full]``      — regenerate (a slice of) Table I
 * ``table2``               — SVG filtering + loopscan measurements
 * ``figure2``              — script-parsing size sweep
+* ``bench``                — serial-vs-parallel matrix baseline::
+
+      python -m repro bench [--full] [--parallel N] [--out FILE]
+
+  Times the same Table I cells serially and sharded over N workers,
+  asserts the results are identical, exercises the warm-cache path, and
+  writes a ``BENCH_matrix.json`` wall-clock baseline artifact.
 * ``dromaeo``              — JSKernel Dromaeo overhead report
 * ``compat``               — API-compat counts + DOM similarity (small)
 * ``attacks``              — list every attack row
@@ -23,6 +30,15 @@ Commands:
 Any command also accepts ``--metrics``: the run is captured under a
 tracer and a metrics summary (task counts, queueing-delay and kernel
 latency histograms) is printed afterwards.
+
+The experiment commands (``matrix``, ``table2``, ``figure2``, ``bench``)
+additionally accept the parallel-engine flags:
+
+* ``--parallel N``   — shard cells over N worker processes (results are
+  byte-identical to the serial run; see ``repro.harness.parallel``)
+* ``--no-cache``     — disable the content-addressed result cache
+* ``--cache-dir D``  — cache root (default ``$REPRO_CACHE_DIR`` or
+  ``~/.cache/repro-jskernel``)
 """
 
 from __future__ import annotations
@@ -45,24 +61,52 @@ from .harness import (
 from .trace import Tracer, capture, format_timeline, write_chrome_trace
 
 
+def _engine_flags(args):
+    """Pop the parallel-engine flags shared by the experiment commands.
+
+    Returns ``(parallel, cache)``: a worker count (or ``None`` for
+    serial) and a cache argument for :func:`repro.harness.as_cache` —
+    caching is on by default, ``--no-cache`` turns it off.
+    """
+    parallel_arg = _flag_value(args, "--parallel", None)
+    cache_dir = _flag_value(args, "--cache-dir", "")
+    no_cache = "--no-cache" in args
+    if no_cache:
+        args.remove("--no-cache")
+    try:
+        parallel = int(parallel_arg) if parallel_arg is not None else None
+    except ValueError:
+        _die(f"--parallel takes an integer worker count, got {parallel_arg!r}")
+    cache = None if no_cache else (cache_dir or True)
+    return parallel, cache
+
+
 def _cmd_matrix(args) -> None:
+    args = list(args)
+    parallel, cache = _engine_flags(args)
     if "--full" in args:
-        result = run_table1()
+        result = run_table1(parallel=parallel, cache=cache)
     else:
         result = run_table1(
             attacks=["cache-attack", "clock-edge", "loopscan", "cve-2018-5092"],
             defenses=["legacy-chrome", "fuzzyfox", "deterfox", "tor", "chromezero", "jskernel"],
+            parallel=parallel,
+            cache=cache,
         )
     print(result.render())
     print(f"\nagreement with the paper: {result.agreement():.2%}")
+    print(f"cells: {result.computed_cells} computed, {result.cached_cells} cached")
+    for line in result.errors:
+        print(f"cell error: {line}", file=sys.stderr)
 
 
-def _cmd_table2(_args) -> None:
-    table = table2_svg_loopscan(runs=3)
+def _cmd_table2(args) -> None:
+    args = list(args)
+    parallel, cache = _engine_flags(args)
+    table = table2_svg_loopscan(runs=3, parallel=parallel, cache=cache)
     rows = [
         [d, v["svg_low_ms"], v["svg_high_ms"], v["loopscan_google_ms"], v["loopscan_youtube_ms"]]
         for d, v in table.items()
-        if d != "metrics"
     ]
     print(render_table(
         ["defense", "svg low", "svg high", "loops google", "loops youtube"], rows,
@@ -70,11 +114,87 @@ def _cmd_table2(_args) -> None:
     ))
 
 
-def _cmd_figure2(_args) -> None:
+def _cmd_figure2(args) -> None:
+    args = list(args)
+    parallel, cache = _engine_flags(args)
     series = figure2_script_parsing(
-        sizes=[2 * 1024 * 1024, 6 * 1024 * 1024, 10 * 1024 * 1024]
+        sizes=[2 * 1024 * 1024, 6 * 1024 * 1024, 10 * 1024 * 1024],
+        parallel=parallel,
+        cache=cache,
     )
     print(render_series(series, title="Figure 2: reported time (ms) per size (MB)"))
+
+
+#: The matrix slice ``bench`` times by default (--full uses all cells).
+BENCH_ATTACKS = ["cache-attack", "clock-edge", "loopscan", "svg-filtering", "cve-2018-5092"]
+BENCH_DEFENSES = ["legacy-chrome", "fuzzyfox", "deterfox", "tor", "chromezero", "jskernel"]
+
+
+def _cmd_bench(args) -> None:
+    """Serial vs parallel Table I baseline; writes BENCH_matrix.json."""
+    import tempfile
+    import time
+
+    from .harness import ResultCache
+
+    args = list(args)
+    out = _flag_value(args, "--out", "BENCH_matrix.json")
+    workers_arg = _flag_value(args, "--parallel", "2")
+    try:
+        workers = int(workers_arg)
+    except ValueError:
+        _die(f"--parallel takes an integer worker count, got {workers_arg!r}")
+    if workers < 2:
+        _die("bench compares serial against a sharded run; --parallel must be >= 2")
+    full = "--full" in args
+    attacks = None if full else BENCH_ATTACKS
+    defenses = None if full else BENCH_DEFENSES
+
+    start = time.perf_counter()
+    serial = run_table1(attacks=attacks, defenses=defenses)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sharded = run_table1(attacks=attacks, defenses=defenses, parallel=workers)
+    parallel_s = time.perf_counter() - start
+
+    identical = serial.matrix == sharded.matrix and serial.details == sharded.details
+
+    with tempfile.TemporaryDirectory() as tmp:
+        run_table1(attacks=attacks, defenses=defenses, parallel=workers, cache=ResultCache(tmp))
+        warm = run_table1(attacks=attacks, defenses=defenses, parallel=workers,
+                          cache=ResultCache(tmp))
+        warm_identical = (
+            warm.matrix == serial.matrix and warm.details == serial.details
+        )
+
+    cells = sum(len(row) for row in serial.matrix.values())
+    report = {
+        "cells": cells,
+        "workers": workers,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
+        "identical": identical,
+        "warm_cache_computed": warm.computed_cells,
+        "warm_cache_hits": warm.cached_cells,
+        "warm_identical": warm_identical,
+        "errors": serial.errors + sharded.errors,
+    }
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"{cells} cells: serial {serial_s:.2f}s, parallel({workers}) {parallel_s:.2f}s "
+        f"({report['speedup']}x), warm cache recomputed {warm.computed_cells} "
+        f"(wrote {out})"
+    )
+    if not identical:
+        _die("parallel matrix differs from the serial run")
+    if not warm_identical:
+        _die("warm-cache matrix differs from the serial run")
+    if warm.computed_cells:
+        _die(f"warm cache recomputed {warm.computed_cells} cells (expected 0)")
 
 
 def _cmd_dromaeo(_args) -> None:
@@ -257,6 +377,7 @@ COMMANDS = {
     "matrix": _cmd_matrix,
     "table2": _cmd_table2,
     "figure2": _cmd_figure2,
+    "bench": _cmd_bench,
     "dromaeo": _cmd_dromaeo,
     "compat": _cmd_compat,
     "attacks": _cmd_attacks,

@@ -30,7 +30,7 @@ length); the report also pinpoints the first divergent position.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .hbgraph import run_pids
 from .scenario import run_traced_scenario
@@ -84,37 +84,45 @@ def schedule_divergence(a: Schedule, b: Schedule) -> Tuple[int, Optional[dict]]:
     return score, first
 
 
-def audit_scenario(
+def schedule_for_seed(
+    attack_name: str, defense_name: str, seed: int
+) -> Tuple[Dict[str, List[List]], str]:
+    """One audit shard: run a scenario under ``seed``, extract its schedule.
+
+    Returns ``(schedule, outcome)`` with every schedule entry in
+    **list form** (``[name, value]`` instead of a tuple) so the result is
+    JSON-pure: the parallel harness ships shards across process
+    boundaries and the result cache round-trips them through JSON, and a
+    cached shard must compare equal to a freshly computed one.
+    """
+    tracer, outcome = run_traced_scenario(attack_name, defense_name, seed=seed)
+    merged: Dict[str, List[List]] = {}
+    for pid in run_pids(tracer.events):
+        for row, seq in extract_schedule(tracer.events, pid).items():
+            # attacks build one browser per run here, so rows are
+            # unique per pid; keep pid out of the key so runs align
+            merged.setdefault(row, []).extend(list(entry) for entry in seq)
+    return merged, outcome
+
+
+def combine_schedules(
     attack_name: str,
     defense_name: str,
-    seeds: Tuple[int, ...] = (0, 1, 2),
+    seeds: Sequence[int],
+    schedules: Sequence[Schedule],
+    outcomes: Sequence[str],
 ) -> dict:
-    """Run a scenario once per seed and compare dispatch schedules.
+    """Fold per-seed schedules into one audit report.
 
     The first seed's schedule is the reference; every other seed is
     scored against it.  ``divergence`` is the total across seeds — 0
     means the invocation sequence is seed-independent.
     """
-    if len(seeds) < 2:
-        raise ValueError("determinism audit needs at least two seeds")
-    schedules: List[Tuple[int, Schedule]] = []
-    outcomes: List[str] = []
-    for seed in seeds:
-        tracer, outcome = run_traced_scenario(attack_name, defense_name, seed=seed)
-        outcomes.append(outcome)
-        merged: Schedule = {}
-        for pid in run_pids(tracer.events):
-            for row, seq in extract_schedule(tracer.events, pid).items():
-                # attacks build one browser per run here, so rows are
-                # unique per pid; keep pid out of the key so runs align
-                merged.setdefault(row, []).extend(seq)
-        schedules.append((seed, merged))
-
-    ref_seed, reference = schedules[0]
+    reference = schedules[0]
     per_seed = []
     total = 0
     first_divergence: Optional[dict] = None
-    for seed, schedule in schedules[1:]:
+    for seed, schedule in zip(seeds[1:], schedules[1:]):
         score, first = schedule_divergence(reference, schedule)
         total += score
         if first is not None and first_divergence is None:
@@ -125,15 +133,32 @@ def audit_scenario(
         "scenario": attack_name,
         "defense": defense_name,
         "seeds": list(seeds),
-        "reference_seed": ref_seed,
+        "reference_seed": seeds[0],
         "schedule_rows": len(reference),
         "schedule_length": sum(len(seq) for seq in reference.values()),
-        "outcomes": outcomes,
+        "outcomes": list(outcomes),
         "per_seed": per_seed,
         "divergence": total,
         "deterministic": total == 0,
         "first_divergence": first_divergence,
     }
+
+
+def audit_scenario(
+    attack_name: str,
+    defense_name: str,
+    seeds: Tuple[int, ...] = (0, 1, 2),
+) -> dict:
+    """Run a scenario once per seed and compare dispatch schedules."""
+    if len(seeds) < 2:
+        raise ValueError("determinism audit needs at least two seeds")
+    schedules: List[Schedule] = []
+    outcomes: List[str] = []
+    for seed in seeds:
+        schedule, outcome = schedule_for_seed(attack_name, defense_name, seed)
+        schedules.append(schedule)
+        outcomes.append(outcome)
+    return combine_schedules(attack_name, defense_name, seeds, schedules, outcomes)
 
 
 def format_audit(report: dict) -> str:

@@ -14,7 +14,9 @@ from .compat import (
     dom_similarity_survey,
     week_long_user_test,
 )
+from .cache import ResultCache, as_cache, code_fingerprint, default_cache_dir
 from .matrix import TableOneResult, run_table1
+from .parallel import Cell, CellResult, ExperimentEngine, run_cells
 from .perf import (
     FIGURE2_DEFENSES,
     FIGURE2_SIZES,
@@ -34,9 +36,16 @@ __all__ = [
     "FIGURE2_SIZES",
     "LAUNCH_BUG_REGRESSIONS",
     "TABLE2_DEFENSES",
+    "Cell",
+    "CellResult",
+    "ExperimentEngine",
+    "ResultCache",
     "TableOneResult",
     "api_compat_counts",
+    "as_cache",
     "assert_deterministic",
+    "code_fingerprint",
+    "default_cache_dir",
     "determinism_matrix",
     "determinism_violations",
     "dom_similarity_survey",
@@ -44,6 +53,7 @@ __all__ = [
     "figure2_script_parsing",
     "figure3_cdf",
     "render_determinism",
+    "run_cells",
     "run_table1",
     "table2_svg_loopscan",
     "table3_raptor",

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..analysis.determinism import audit_scenario
+from ..analysis.determinism import audit_scenario, combine_schedules
+from .parallel import Cell, ExperimentEngine
 
 #: Defenses whose scheduling policy promises a seed-independent dispatch
 #: schedule (the JSKernel general policy, with or without CVE policies).
@@ -25,15 +26,54 @@ def determinism_matrix(
     attacks: Sequence[str],
     defenses: Sequence[str],
     seeds: Sequence[int] = AUDIT_SEEDS,
+    parallel: Optional[int] = None,
+    cache=None,
 ) -> Dict[str, Dict[str, dict]]:
-    """Audit every (attack, defense) cell; returns the audit reports."""
-    reports: Dict[str, Dict[str, dict]] = {}
-    for attack_name in attacks:
-        reports[attack_name] = {}
-        for defense_name in defenses:
-            reports[attack_name][defense_name] = audit_scenario(
-                attack_name, defense_name, seeds=tuple(seeds)
-            )
+    """Audit every (attack, defense) cell; returns the audit reports.
+
+    Every **seed** of every cell is an independent shard: the engine runs
+    ``len(attacks) × len(defenses) × len(seeds)`` scenario executions
+    (optionally across ``parallel`` workers, optionally cached) and the
+    per-seed schedules are recombined here.  A shard that fails surfaces
+    as an ``error`` report for its cell — counted as a violation for
+    determinism-promising defenses — instead of aborting the audit.
+    """
+    if len(seeds) < 2:
+        raise ValueError("determinism audit needs at least two seeds")
+    seeds = [int(seed) for seed in seeds]
+    pairs = [(a, d) for a in attacks for d in defenses]
+    cells = [
+        Cell("audit-schedule", {"attack": attack, "defense": defense, "seed": seed})
+        for attack, defense in pairs
+        for seed in seeds
+    ]
+    results = ExperimentEngine(workers=parallel, cache=cache).run(cells)
+
+    reports: Dict[str, Dict[str, dict]] = {attack: {} for attack in attacks}
+    cursor = 0
+    for attack_name, defense_name in pairs:
+        shards = results[cursor : cursor + len(seeds)]
+        cursor += len(seeds)
+        failed = [shard for shard in shards if not shard.ok]
+        if failed:
+            reports[attack_name][defense_name] = {
+                "scenario": attack_name,
+                "defense": defense_name,
+                "seeds": list(seeds),
+                "error": "; ".join(shard.error for shard in failed),
+                # a cell we could not audit can never count as clean
+                "divergence": -1,
+                "deterministic": False,
+                "first_divergence": None,
+            }
+            continue
+        reports[attack_name][defense_name] = combine_schedules(
+            attack_name,
+            defense_name,
+            seeds,
+            [shard.payload["schedule"] for shard in shards],
+            [shard.payload["outcome"] for shard in shards],
+        )
     return reports
 
 

@@ -5,10 +5,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..analysis.tables import render_matrix
-from ..attacks import attack_names, create as create_attack
+from ..attacks import attack_names
 from ..attacks.expected import expected_matrix
 from ..defenses import TABLE1_DEFENSES
 from ..trace import current_tracer
+from .parallel import Cell, ExperimentEngine
 
 
 class TableOneResult:
@@ -31,6 +32,14 @@ class TableOneResult:
         #: attack -> defense -> determinism audit report, populated when
         #: ``run_table1`` is called with ``determinism_seeds``.
         self.determinism: Optional[Dict[str, Dict[str, dict]]] = None
+        #: "attack vs defense: error" strings for cells whose run raised
+        #: (the parallel engine captures per-cell failures instead of
+        #: aborting the whole matrix); empty on a clean run.
+        self.errors: List[str] = []
+        #: Engine accounting when the run went through the parallel
+        #: engine: cells computed fresh vs. served from the result cache.
+        self.computed_cells: int = 0
+        self.cached_cells: int = 0
 
     def determinism_violations(self) -> List[str]:
         """Determinism-promising cells that diverged (empty when clean).
@@ -44,23 +53,36 @@ class TableOneResult:
         return determinism_violations(self.determinism)
 
     def agreement(self) -> float:
-        """Fraction of cells agreeing with the reconstructed paper matrix."""
+        """Fraction of cells agreeing with the reconstructed paper matrix.
+
+        Cells outside the paper's Table I (an ablation defense, an
+        extension attack) have no expected value and are skipped rather
+        than crashing the comparison; only comparable cells count.
+        """
         expected = expected_matrix()
         total = 0
         agree = 0
         for attack, row in self.matrix.items():
+            expected_row = expected.get(attack)
+            if expected_row is None:
+                continue
             for defense, defended in row.items():
+                if defense not in expected_row:
+                    continue
                 total += 1
-                agree += 1 if expected[attack][defense] == defended else 0
+                agree += 1 if expected_row[defense] == defended else 0
         return agree / total if total else 1.0
 
     def disagreements(self) -> List[str]:
-        """Cells differing from the expected matrix."""
+        """Comparable cells differing from the expected matrix."""
         expected = expected_matrix()
         cells = []
         for attack, row in self.matrix.items():
+            expected_row = expected.get(attack)
+            if expected_row is None:
+                continue
             for defense, defended in row.items():
-                if expected[attack][defense] != defended:
+                if defense in expected_row and expected_row[defense] != defended:
                     cells.append(f"{attack} vs {defense}")
         return cells
 
@@ -74,27 +96,52 @@ def run_table1(
     defenses: Optional[Sequence[str]] = None,
     seed: int = 0,
     determinism_seeds: Optional[Sequence[int]] = None,
+    parallel: Optional[int] = None,
+    cache=None,
 ) -> TableOneResult:
     """Evaluate every (attack, defense) cell.
 
     The full 22×8 run takes a few seconds of wall time; tests typically
-    pass a subset.  Passing ``determinism_seeds`` (≥ 2 seeds) additionally
-    audits every cell's dispatch schedule across those seeds and attaches
-    the reports as :attr:`TableOneResult.determinism`, letting callers
-    assert determinism as a property of the whole matrix run.
+    pass a subset.  ``parallel=N`` shards the cells over N worker
+    processes (every cell is a pure function of ``(attack, defense,
+    seed)``, so the result is byte-identical to the serial run); ``cache``
+    enables the content-addressed result cache (see
+    :mod:`repro.harness.cache`) so warm reruns skip already-computed
+    cells.  Passing ``determinism_seeds`` (≥ 2 seeds) additionally audits
+    every cell's dispatch schedule across those seeds and attaches the
+    reports as :attr:`TableOneResult.determinism`, letting callers assert
+    determinism as a property of the whole matrix run.
     """
     attacks = list(attacks or attack_names())
     defenses = list(defenses or TABLE1_DEFENSES)
-    matrix: Dict[str, Dict[str, bool]] = {}
-    details: Dict[str, Dict[str, str]] = {}
-    for attack_name in attacks:
-        matrix[attack_name] = {}
-        details[attack_name] = {}
-        for defense_name in defenses:
-            result = create_attack(attack_name).run(defense_name, seed=seed)
-            matrix[attack_name][defense_name] = result.defended
-            details[attack_name][defense_name] = result.detail
+    cells = [
+        Cell("table1", {"attack": attack, "defense": defense, "seed": seed})
+        for attack in attacks
+        for defense in defenses
+    ]
+    engine = ExperimentEngine(workers=parallel, cache=cache)
+    results = engine.run(cells)
+
+    matrix: Dict[str, Dict[str, bool]] = {attack: {} for attack in attacks}
+    details: Dict[str, Dict[str, str]] = {attack: {} for attack in attacks}
+    errors: List[str] = []
+    for result in results:
+        attack = result.cell.params["attack"]
+        defense = result.cell.params["defense"]
+        if result.ok:
+            matrix[attack][defense] = result.payload["defended"]
+            details[attack][defense] = result.payload["detail"]
+        else:
+            # a poisoned cell reports instead of killing the run; it is
+            # counted as undefended so it can never mask a regression
+            matrix[attack][defense] = False
+            details[attack][defense] = f"error: {result.error}"
+            errors.append(f"{attack} vs {defense}: {result.error}")
+
     outcome = TableOneResult(matrix, details, defenses)
+    outcome.errors = errors
+    outcome.computed_cells = engine.computed
+    outcome.cached_cells = engine.cache_hits
     tracer = current_tracer()
     if tracer.enabled:
         outcome.metrics = tracer.metrics.snapshot()
@@ -102,6 +149,6 @@ def run_table1(
         from .audit import determinism_matrix
 
         outcome.determinism = determinism_matrix(
-            attacks, defenses, seeds=determinism_seeds
+            attacks, defenses, seeds=determinism_seeds, parallel=parallel, cache=cache
         )
     return outcome

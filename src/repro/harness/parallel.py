@@ -1,0 +1,302 @@
+"""Parallel sharded execution engine for experiment cells.
+
+The paper's evaluation (§IV–§V) is an embarrassingly parallel grid: every
+Table I ``(attack, defense, seed)`` cell, determinism-audit seed, Figure
+2 size point and Alexa site visit is a pure deterministic function of its
+parameters.  This module shards those cells across a process pool and
+reassembles the results in submission order, so a parallel run is
+byte-identical to a serial one — determinism is the repo's headline
+property, and the engine is itself audited by the existing
+:mod:`repro.analysis.determinism` machinery (see ``python -m repro bench``
+and ``tests/test_parallel_engine.py``).
+
+Execution model
+---------------
+
+* A :class:`Cell` is ``(kind, params)``; each kind names a registered
+  runner (a module-level function, so it pickles under both ``fork`` and
+  ``spawn`` start methods).
+* ``workers <= 1`` runs cells in-process, in order, under whatever tracer
+  capture is ambient — exactly the historical serial behaviour.
+* ``workers > 1`` dispatches contiguous chunks to a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Each worker runs its
+  chunk under a private :class:`~repro.trace.Tracer` when the parent has
+  an enabled capture, and the parent merges the per-worker metrics
+  snapshots back into the ambient registry **in chunk order**, so
+  counters and histograms equal the serial capture's (trace *events* are
+  not shipped back — use a serial run when you need the full timeline).
+* Every cell is individually guarded: a poisoned cell produces a
+  :class:`CellResult` with ``error`` set instead of killing the pool.
+* With a :class:`~repro.harness.cache.ResultCache`, cells already on disk
+  are never dispatched at all, and fresh results are stored after the
+  run; computed payloads are JSON-normalised first so a warm rerun
+  returns byte-identical objects.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..trace import Tracer, capture, current_tracer
+from .cache import ResultCache, as_cache
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One experiment cell: a registered kind plus its parameters."""
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def label(self) -> str:
+        """Compact human-readable identity (error messages, reports)."""
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))
+        return f"{self.kind}({inner})"
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell: payload on success, error text on failure."""
+
+    cell: Cell
+    payload: Any = None
+    error: Optional[str] = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+# ----------------------------------------------------------------------
+# cell-kind registry
+# ----------------------------------------------------------------------
+_RUNNERS: Dict[str, Callable[..., Any]] = {}
+
+
+def cell_kind(name: str):
+    """Register a module-level function as the runner for ``name``."""
+
+    def decorate(fn):
+        _RUNNERS[name] = fn
+        return fn
+
+    return decorate
+
+
+@cell_kind("table1")
+def _run_table1_cell(attack: str, defense: str, seed: int) -> dict:
+    """One Table I cell: did the defense stop the attack?"""
+    from ..attacks import create as create_attack
+
+    result = create_attack(attack).run(defense, seed=seed)
+    return {"defended": result.defended, "detail": result.detail}
+
+
+@cell_kind("audit-schedule")
+def _run_audit_cell(attack: str, defense: str, seed: int) -> dict:
+    """One determinism-audit shard: the dispatch schedule under one seed."""
+    from ..analysis.determinism import schedule_for_seed
+
+    schedule, outcome = schedule_for_seed(attack, defense, seed)
+    return {"schedule": schedule, "outcome": outcome}
+
+
+@cell_kind("figure2")
+def _run_figure2_cell(defense: str, size: int, seed: int) -> dict:
+    """One Figure 2 point: reported parsing time for one file size."""
+    from ..attacks.timing.script_parsing import ScriptParsingAttack
+
+    return {"reported_ms": ScriptParsingAttack().reported_time_ms(defense, size, seed=seed)}
+
+
+@cell_kind("table2")
+def _run_table2_cell(defense: str, runs: int, seed: int) -> dict:
+    """One Table II row: SVG-filtering and loopscan averages."""
+    from ..analysis.stats import mean
+    from ..attacks.timing.loopscan import LoopscanAttack
+    from ..attacks.timing.svg_filtering import SvgFilteringAttack
+    from ..runtime.rng import hash_seed
+
+    svg = SvgFilteringAttack()
+    loopscan = LoopscanAttack()
+
+    def avg(attack, secret):
+        return mean(
+            [
+                attack.run_trial(defense, secret, hash_seed(seed, f"t2:{defense}:{secret}:{i}"))
+                for i in range(runs)
+            ]
+        )
+
+    return {
+        "svg_low_ms": avg(svg, "low"),
+        "svg_high_ms": avg(svg, "high"),
+        "loopscan_google_ms": avg(loopscan, "google"),
+        "loopscan_youtube_ms": avg(loopscan, "youtube"),
+    }
+
+
+@cell_kind("alexa")
+def _run_alexa_cell(config: str, rank: int, site_count: int, visits: int, seed: int) -> dict:
+    """One Figure 3 cell: a site's average load time under one config."""
+    from ..workloads.alexa import measure_site_average, site_for_rank
+
+    site = site_for_rank(rank, site_count, seed)
+    return {"avg_ms": measure_site_average(config, site, visits=visits, seed=seed)}
+
+
+# ----------------------------------------------------------------------
+# worker-side execution
+# ----------------------------------------------------------------------
+def _jsonify(payload: Any) -> Any:
+    """Normalise a payload through a JSON round-trip.
+
+    Guarantees a computed result equals its cached-then-reloaded twin
+    (tuples become lists, dict keys become strings) — the invariant the
+    byte-identical warm-rerun promise rests on.
+    """
+    return json.loads(json.dumps(payload))
+
+
+def _run_cell(spec: Tuple[str, Dict[str, Any]]) -> dict:
+    """Run one cell spec; never raises — errors are captured per cell."""
+    kind, params = spec
+    runner = _RUNNERS.get(kind)
+    if runner is None:
+        return {"ok": False, "payload": None, "error": f"unknown cell kind {kind!r}"}
+    try:
+        return {"ok": True, "payload": _jsonify(runner(**params)), "error": None}
+    except Exception as exc:
+        return {
+            "ok": False,
+            "payload": None,
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }
+
+
+def _run_chunk(
+    batch: Tuple[List[Tuple[str, Dict[str, Any]]], bool],
+) -> Tuple[List[dict], Optional[dict]]:
+    """Worker entry point: run a contiguous chunk of cell specs.
+
+    When ``collect_metrics`` is set the chunk runs under a private
+    tracer and the metrics snapshot rides back with the results.
+    """
+    specs, collect_metrics = batch
+    if collect_metrics:
+        tracer = Tracer(enabled=True)
+        with capture(tracer):
+            results = [_run_cell(spec) for spec in specs]
+        return results, tracer.metrics.snapshot()
+    return [_run_cell(spec) for spec in specs], None
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+class ExperimentEngine:
+    """Shard experiment cells across workers, with an optional cache.
+
+    ``workers=None``/``0``/``1`` runs serially in-process (the ambient
+    tracer capture applies directly); ``workers=N`` fans chunks out to N
+    processes.  ``cache`` accepts anything :func:`~repro.harness.cache.as_cache`
+    does.  After :meth:`run`, :attr:`computed`, :attr:`cache_hits` and
+    :attr:`errors` describe what happened.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache=None,
+        chunk_size: Optional[int] = None,
+    ):
+        self.workers = int(workers) if workers else 0
+        self.cache: Optional[ResultCache] = as_cache(cache)
+        self.chunk_size = chunk_size
+        self.computed = 0
+        self.cache_hits = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    def run(self, cells: Sequence[Cell]) -> List[CellResult]:
+        """Execute every cell; results come back in submission order."""
+        cells = list(cells)
+        results: List[Optional[CellResult]] = [None] * len(cells)
+
+        pending: List[Tuple[int, Cell]] = []
+        keys: Dict[int, str] = {}
+        for index, cell in enumerate(cells):
+            if self.cache is not None:
+                key = self.cache.key(cell.kind, cell.params)
+                keys[index] = key
+                entry = self.cache.get(key)
+                if entry is not None:
+                    self.cache_hits += 1
+                    results[index] = CellResult(cell, payload=entry["payload"], cached=True)
+                    continue
+            pending.append((index, cell))
+
+        if pending:
+            if self.workers > 1:
+                raw = self._run_pool([cell for _i, cell in pending])
+            else:
+                raw = [_run_cell((cell.kind, cell.params)) for _i, cell in pending]
+            for (index, cell), outcome in zip(pending, raw):
+                self.computed += 1
+                if outcome["ok"]:
+                    result = CellResult(cell, payload=outcome["payload"])
+                    if self.cache is not None:
+                        self.cache.put(keys[index], cell.kind, cell.params, outcome["payload"])
+                else:
+                    self.errors += 1
+                    result = CellResult(cell, error=outcome["error"])
+                results[index] = result
+
+        return [result for result in results if result is not None]
+
+    # ------------------------------------------------------------------
+    def _run_pool(self, cells: List[Cell]) -> List[dict]:
+        """Chunked dispatch over a process pool, metrics merged in order."""
+        tracer = current_tracer()
+        collect_metrics = tracer.enabled
+        specs = [(cell.kind, cell.params) for cell in cells]
+        chunk = self.chunk_size or max(1, math.ceil(len(specs) / (self.workers * 4)))
+        batches = [
+            (specs[start : start + chunk], collect_metrics)
+            for start in range(0, len(specs), chunk)
+        ]
+        outcomes: List[dict] = []
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            # pool.map preserves batch order, which keeps result assembly
+            # and metrics merging deterministic regardless of completion
+            # order
+            for chunk_results, snapshot in pool.map(_run_chunk, batches):
+                outcomes.extend(chunk_results)
+                if snapshot is not None:
+                    tracer.metrics.merge_snapshot(snapshot)
+        return outcomes
+
+
+def run_cells(
+    cells: Sequence[Cell],
+    parallel: Optional[int] = None,
+    cache=None,
+) -> List[CellResult]:
+    """One-shot convenience wrapper around :class:`ExperimentEngine`."""
+    return ExperimentEngine(workers=parallel, cache=cache).run(cells)
+
+
+__all__ = [
+    "Cell",
+    "CellResult",
+    "ExperimentEngine",
+    "cell_kind",
+    "run_cells",
+]

@@ -9,16 +9,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..analysis.stats import mean
-from ..attacks.timing.script_parsing import ScriptParsingAttack
-from ..attacks.timing.loopscan import LoopscanAttack
-from ..attacks.timing.svg_filtering import SvgFilteringAttack
 from ..runtime.rng import hash_seed
 from ..trace import current_tracer
 from ..workloads.alexa import FIGURE3_CONFIGS, figure3_series
 from ..workloads.dromaeo import overhead_report
 from ..workloads.raptor import table3_rows
 from ..workloads.workerbench import worker_overhead_pct
+from .parallel import Cell, ExperimentEngine
 
 #: Figure 2's file-size sweep (bytes).
 FIGURE2_SIZES = tuple(int(mb * 1024 * 1024) for mb in (2, 4, 6, 8, 10))
@@ -49,22 +46,34 @@ def figure2_script_parsing(
     sizes: Sequence[int] = FIGURE2_SIZES,
     defenses: Sequence[str] = FIGURE2_DEFENSES,
     seed: int = 0,
+    parallel: Optional[int] = None,
+    cache=None,
 ) -> Dict[str, List[Tuple[float, float]]]:
     """defense -> [(size_mb, reported_time_ms)] series.
 
     The paper's observation to reproduce: every defense except JSKernel
     shows reported time increasing with file size; JSKernel is flat.
+    Every ``(defense, size)`` point is an independent cell, so the sweep
+    shards across ``parallel`` workers and caches per point.
     """
-    series: Dict[str, List[Tuple[float, float]]] = {}
-    for defense in defenses:
-        attack = ScriptParsingAttack()
-        points = []
-        for size in sizes:
-            reported = attack.reported_time_ms(
-                defense, size, seed=hash_seed(seed, f"fig2:{defense}:{size}")
-            )
-            points.append((size / 1024 / 1024, reported))
-        series[defense] = points
+    cells = [
+        Cell(
+            "figure2",
+            {"defense": defense, "size": int(size),
+             "seed": hash_seed(seed, f"fig2:{defense}:{size}")},
+        )
+        for defense in defenses
+        for size in sizes
+    ]
+    results = ExperimentEngine(workers=parallel, cache=cache).run(cells)
+    series: Dict[str, List[Tuple[float, float]]] = {defense: [] for defense in defenses}
+    for result in results:
+        if not result.ok:
+            raise RuntimeError(f"figure2 cell {result.cell.label()} failed: {result.error}")
+        size = result.cell.params["size"]
+        series[result.cell.params["defense"]].append(
+            (size / 1024 / 1024, result.payload["reported_ms"])
+        )
     return series
 
 
@@ -72,31 +81,27 @@ def table2_svg_loopscan(
     defenses: Sequence[str] = TABLE2_DEFENSES,
     runs: int = 5,
     seed: int = 0,
+    parallel: Optional[int] = None,
+    cache=None,
 ) -> Dict[str, Dict[str, float]]:
-    """defense -> measured values for the four Table II columns."""
-    svg = SvgFilteringAttack()
-    loopscan = LoopscanAttack()
-    table: Dict[str, Dict[str, float]] = {}
-    for defense in defenses:
-        def avg(attack, secret):
-            return mean(
-                [
-                    attack.run_trial(defense, secret, hash_seed(seed, f"t2:{defense}:{secret}:{i}"))
-                    for i in range(runs)
-                ]
-            )
+    """defense -> measured values for the four Table II columns.
 
-        table[defense] = {
-            "svg_low_ms": avg(svg, "low"),
-            "svg_high_ms": avg(svg, "high"),
-            "loopscan_google_ms": avg(loopscan, "google"),
-            "loopscan_youtube_ms": avg(loopscan, "youtube"),
-        }
-    tracer = current_tracer()
-    if tracer.enabled:
-        # extra top-level key, only under an active capture; per-defense
-        # consumers must skip it (it is not a defense row)
-        table["metrics"] = tracer.metrics.snapshot()
+    The returned mapping contains **only** defense rows.  (It previously
+    smuggled a top-level ``"metrics"`` key in under an active tracer,
+    forcing every consumer to skip a fake defense row; metrics now travel
+    out-of-band — snapshot ``current_tracer().metrics`` after the call,
+    which the parallel engine keeps populated even for sharded runs.)
+    """
+    cells = [
+        Cell("table2", {"defense": defense, "runs": int(runs), "seed": seed})
+        for defense in defenses
+    ]
+    results = ExperimentEngine(workers=parallel, cache=cache).run(cells)
+    table: Dict[str, Dict[str, float]] = {}
+    for result in results:
+        if not result.ok:
+            raise RuntimeError(f"table2 cell {result.cell.label()} failed: {result.error}")
+        table[result.cell.params["defense"]] = result.payload
     return table
 
 
@@ -105,9 +110,14 @@ def figure3_cdf(
     visits: int = 3,
     seed: int = 0,
     configs: Optional[List[str]] = None,
+    parallel: Optional[int] = None,
+    cache=None,
 ) -> Dict[str, List[float]]:
     """The Alexa loading-time series per configuration."""
-    return figure3_series(site_count=site_count, visits=visits, seed=seed, configs=configs)
+    return figure3_series(
+        site_count=site_count, visits=visits, seed=seed, configs=configs,
+        parallel=parallel, cache=cache,
+    )
 
 
 def table3_raptor(runs: int = 25, seed: int = 0) -> Dict[str, Dict[str, Dict[str, float]]]:

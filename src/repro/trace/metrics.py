@@ -146,6 +146,40 @@ class MetricsRegistry:
             },
         }
 
+    def merge_snapshot(self, snapshot: Dict[str, dict]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The parallel harness runs each worker's cells under a private
+        registry and merges the snapshots back in shard order, so a
+        parallel run's counters and histograms equal the serial run's.
+        Counters add; histogram buckets, sums and counts add (bounds must
+        match, the shared defaults guarantee it in practice); gauges are
+        last-write-wins — they are instantaneous values, and merging in
+        shard order reproduces the serial "final value" semantics.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name, bounds=data["bounds"])
+            if list(histogram.bounds) != list(data["bounds"]):
+                raise ValueError(
+                    f"histogram {name!r} bucket mismatch: "
+                    f"{list(histogram.bounds)} != {list(data['bounds'])}"
+                )
+            for i, count in enumerate(data["counts"]):
+                histogram.counts[i] += count
+            histogram.total += data["sum"]
+            histogram.count += data["count"]
+            if data["count"]:
+                histogram.min = (
+                    data["min"] if histogram.min is None else min(histogram.min, data["min"])
+                )
+                histogram.max = (
+                    data["max"] if histogram.max is None else max(histogram.max, data["max"])
+                )
+
     def format(self) -> str:
         """Human-readable metrics summary (CLI ``--metrics`` output)."""
         snap = self.snapshot()

@@ -28,18 +28,26 @@ FIGURE3_CONFIGS = [
 ]
 
 
+def site_for_rank(rank: int, count: int, seed: int) -> SiteDescription:
+    """The population member at ``rank``, derivable independently.
+
+    Site generation is a pure function of ``(rank, count, seed)``, which
+    is what lets the parallel engine regenerate a single site inside a
+    worker instead of shipping the whole population across the process
+    boundary.
+    """
+    if rank < count * 0.2:
+        weight = "light"
+    elif rank < count * 0.75:
+        weight = "medium"
+    else:
+        weight = "heavy"
+    return generate_site(f"site{rank:03d}.example", hash_seed(seed, str(rank)), weight)
+
+
 def alexa_population(count: int = 500, seed: int = 0) -> List[SiteDescription]:
     """Generate the seeded site population."""
-    sites: List[SiteDescription] = []
-    for rank in range(count):
-        if rank < count * 0.2:
-            weight = "light"
-        elif rank < count * 0.75:
-            weight = "medium"
-        else:
-            weight = "heavy"
-        sites.append(generate_site(f"site{rank:03d}.example", hash_seed(seed, str(rank)), weight))
-    return sites
+    return [site_for_rank(rank, count, seed) for rank in range(count)]
 
 
 def _browser_for(config: str, seed: int):
@@ -60,6 +68,20 @@ def measure_load_time_ms(config: str, site: SiteDescription, seed: int = 0) -> f
     return to_ms(page.load_time_ns)
 
 
+def measure_site_average(
+    config: str,
+    site: SiteDescription,
+    visits: int = 3,
+    seed: int = 0,
+) -> float:
+    """One Figure 3 cell: a site's load time averaged over ``visits``."""
+    times = [
+        measure_load_time_ms(config, site, hash_seed(seed, f"{site.host}:{visit}"))
+        for visit in range(visits)
+    ]
+    return sum(times) / len(times)
+
+
 def measure_population(
     config: str,
     sites: List[SiteDescription],
@@ -67,14 +89,7 @@ def measure_population(
     seed: int = 0,
 ) -> List[float]:
     """Average load time per site over ``visits`` (the Figure 3 series)."""
-    averages: List[float] = []
-    for site in sites:
-        times = [
-            measure_load_time_ms(config, site, hash_seed(seed, f"{site.host}:{visit}"))
-            for visit in range(visits)
-        ]
-        averages.append(sum(times) / len(times))
-    return averages
+    return [measure_site_average(config, site, visits, seed) for site in sites]
 
 
 def figure3_series(
@@ -82,10 +97,31 @@ def figure3_series(
     visits: int = 3,
     seed: int = 0,
     configs: Optional[List[str]] = None,
+    parallel: Optional[int] = None,
+    cache=None,
 ) -> Dict[str, List[float]]:
-    """config name -> per-site average load times (for the CDF)."""
-    sites = alexa_population(site_count, seed)
-    series: Dict[str, List[float]] = {}
-    for config in configs or FIGURE3_CONFIGS:
-        series[config] = measure_population(config, sites, visits, seed)
+    """config name -> per-site average load times (for the CDF).
+
+    Every ``(config, site)`` visit-average is an independent experiment
+    cell, so the sweep shards across ``parallel`` worker processes and
+    caches per site visit (see :mod:`repro.harness.parallel`).
+    """
+    from ..harness.parallel import Cell, ExperimentEngine
+
+    configs = list(configs or FIGURE3_CONFIGS)
+    cells = [
+        Cell(
+            "alexa",
+            {"config": config, "rank": rank, "site_count": int(site_count),
+             "visits": int(visits), "seed": seed},
+        )
+        for config in configs
+        for rank in range(site_count)
+    ]
+    results = ExperimentEngine(workers=parallel, cache=cache).run(cells)
+    series: Dict[str, List[float]] = {config: [] for config in configs}
+    for result in results:
+        if not result.ok:
+            raise RuntimeError(f"alexa cell {result.cell.label()} failed: {result.error}")
+        series[result.cell.params["config"]].append(result.payload["avg_ms"])
     return series
