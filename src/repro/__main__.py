@@ -27,12 +27,26 @@ Commands:
                               [--defense NAME] [--seed N] [--seeds N,N,...]
                               [--json] [--out FILE]
 
+* ``fuzz``                 — schedule-space exploration of one scenario::
+
+      python -m repro fuzz [--attack NAME] [--defense NAME] [--seed N]
+                           [--budget N] [--strategy mixed|jitter|priority|targeted]
+                           [--out DIR] [--max-witnesses N] [--no-minimize]
+                           [--max-events N] [--check-determinism]
+                           [--replay FILE]
+
+  Perturbs the schedule and injects faults for ``--budget`` trials,
+  checks the oracle batteries (races, crashes, leakage, determinism,
+  kernel dispatch-order invariant), minimizes the failing trials with
+  delta debugging, and writes replayable JSON witnesses into ``--out``.
+  ``--replay FILE`` re-runs one witness twice and verifies the verdict.
+
 Any command also accepts ``--metrics``: the run is captured under a
 tracer and a metrics summary (task counts, queueing-delay and kernel
 latency histograms) is printed afterwards.
 
-The experiment commands (``matrix``, ``table2``, ``figure2``, ``bench``)
-additionally accept the parallel-engine flags:
+The experiment commands (``matrix``, ``table2``, ``figure2``, ``bench``,
+``fuzz``) additionally accept the parallel-engine flags:
 
 * ``--parallel N``   — shard cells over N worker processes (results are
   byte-identical to the serial run; see ``repro.harness.parallel``)
@@ -373,6 +387,146 @@ def _cmd_analyze(args) -> None:
         print(rendered)
 
 
+FUZZ_USAGE = (
+    "usage: python -m repro fuzz [--attack NAME] [--defense NAME] [--seed N] "
+    "[--budget N] [--strategy mixed|jitter|priority|targeted] [--parallel N] "
+    "[--out DIR] [--max-witnesses N] [--no-minimize] [--max-events N] "
+    "[--check-determinism] [--replay FILE]"
+)
+
+#: Event backstop for fuzz trials: perturbed schedules can loop where
+#: the nominal one terminates, so fail fast (still ~1000x a normal run).
+FUZZ_MAX_EVENTS = 2_000_000
+
+
+def _cmd_fuzz(args) -> None:
+    """Schedule-space fuzzing: campaign, minimization, witness replay."""
+    import os
+
+    from .explore.campaign import DEFAULT_ATTACK, DEFAULT_DEFENSE, STRATEGIES, run_campaign
+    from .explore.minimize import (
+        load_witness,
+        minimize_witness,
+        replay_witness,
+        save_witness,
+    )
+    from .explore.oracles import signature
+
+    args = list(args)
+    parallel, cache = _engine_flags(args)
+    replay_path = _flag_value(args, "--replay", "")
+    attack = _flag_value(args, "--attack", DEFAULT_ATTACK)
+    defense = _flag_value(args, "--defense", DEFAULT_DEFENSE)
+    seed_arg = _flag_value(args, "--seed", "0")
+    budget_arg = _flag_value(args, "--budget", "200")
+    strategy = _flag_value(args, "--strategy", "mixed")
+    out_dir = _flag_value(args, "--out", "witnesses")
+    max_witnesses_arg = _flag_value(args, "--max-witnesses", "5")
+    max_events_arg = _flag_value(args, "--max-events", "")
+    no_minimize = "--no-minimize" in args
+    if no_minimize:
+        args.remove("--no-minimize")
+    check_determinism = None
+    if "--check-determinism" in args:
+        args.remove("--check-determinism")
+        check_determinism = True
+    if args:
+        print(FUZZ_USAGE)
+        raise SystemExit(2)
+    def _int_flag(flag: str, value: str) -> int:
+        try:
+            return int(value)
+        except ValueError:
+            _die(f"{flag} takes an integer, got {value!r}")
+
+    seed = _int_flag("--seed", seed_arg)
+    budget = _int_flag("--budget", budget_arg)
+    max_witnesses = _int_flag("--max-witnesses", max_witnesses_arg)
+    max_events = (
+        _int_flag("--max-events", max_events_arg) if max_events_arg else FUZZ_MAX_EVENTS
+    )
+    if strategy != "mixed" and strategy not in STRATEGIES:
+        _die(f"unknown strategy {strategy!r}; expected 'mixed' or one of {STRATEGIES}")
+
+    # the env var (not a parameter) so pool workers inherit the budget
+    os.environ["REPRO_MAX_EVENTS"] = str(max_events)
+
+    if replay_path:
+        try:
+            witness = load_witness(replay_path)
+        except (OSError, ValueError) as exc:
+            _die(f"cannot load witness {replay_path!r}: {exc}")
+        if not isinstance(witness, dict) or "verdict" not in witness:
+            _die(f"{replay_path!r} is not a witness file (no verdict)")
+        expected = witness.get("signature") or signature(witness["verdict"])
+        verdicts = [replay_witness(witness) for _ in range(2)]
+        for i, verdict in enumerate(verdicts, start=1):
+            print(f"replay {i}: outcome {verdict['outcome']!r}, "
+                  f"failures {verdict['failures']}")
+        if any(signature(v) != expected for v in verdicts):
+            _die(
+                f"witness did not replay: expected signature {expected}, got "
+                f"{[signature(v) for v in verdicts]}"
+            )
+        print(f"witness replays: signature {expected} reproduced twice")
+        return
+
+    _check_attack(attack)
+    _check_defense(defense)
+    report = run_campaign(
+        attack=attack,
+        defense=defense,
+        seed=seed,
+        budget=budget,
+        strategy=strategy,
+        parallel=parallel,
+        cache=cache,
+        check_determinism=check_determinism,
+    )
+
+    print(
+        f"{report['trials']} trials of {attack} vs {defense} (seed {seed}, "
+        f"strategy {strategy}): {len(report['witnesses'])} witnesses, "
+        f"{report['order_violations']} kernel order violations"
+    )
+    for outcome, n in sorted(report["outcomes"].items()):
+        print(f"  outcome {n:4d}x  {outcome}")
+    for sig, n in sorted(report["signatures"].items()):
+        print(f"  witness {n:4d}x  [{sig}]")
+    print(
+        f"  shards: {report['computed_shards']} computed, "
+        f"{report['cached_shards']} cached"
+    )
+    for line in report["errors"]:
+        print(f"shard error: {line}", file=sys.stderr)
+
+    if not report["witnesses"]:
+        print("no witnesses found (nothing to minimize)")
+        return
+
+    os.makedirs(out_dir, exist_ok=True)
+    written = []
+    for witness in report["witnesses"][:max_witnesses]:
+        if no_minimize:
+            final = dict(witness, signature=signature(witness["verdict"]))
+        else:
+            final = minimize_witness(witness)
+        path = os.path.join(out_dir, f"witness-{attack}-{witness['trial']}.json")
+        save_witness(final, path)
+        written.append((path, final))
+    for path, final in written:
+        stats = final.get("minimized")
+        detail = (
+            f"minimized {stats['atoms_before']}->{stats['atoms_after']} atoms "
+            f"in {stats['tests_run']} tests"
+            if stats
+            else "unminimized"
+        )
+        print(f"wrote {path}  [{'+'.join(final['signature'])}]  ({detail})")
+    first = written[0][0]
+    print(f"replay with: python -m repro fuzz --replay {first}")
+
+
 COMMANDS = {
     "matrix": _cmd_matrix,
     "table2": _cmd_table2,
@@ -384,6 +538,7 @@ COMMANDS = {
     "defenses": _cmd_defenses,
     "trace": _cmd_trace,
     "analyze": _cmd_analyze,
+    "fuzz": _cmd_fuzz,
 }
 
 

@@ -1,0 +1,36 @@
+"""Schedule-space exploration: concurrency fuzzing for the simulated web.
+
+The paper's threat model is that a bug fires only under a particular
+cross-thread invocation sequence (§II–III); the rest of the repo replays
+the single interleaving each attack script happens to produce.  This
+package *searches* that space:
+
+* :mod:`~repro.explore.perturb` — seeded schedule perturbation
+  strategies hooked into the simulator and event loops;
+* :mod:`~repro.explore.faults` — declarative fault plans (network
+  latency spikes, dropped/aborted fetches, worker crashes);
+* :mod:`~repro.explore.oracles` — per-run verdicts from the analysis
+  layer (races, leakage, determinism, kernel dispatch-order invariant);
+* :mod:`~repro.explore.campaign` — budgeted campaigns sharded over the
+  parallel experiment engine with the result cache;
+* :mod:`~repro.explore.minimize` — delta-debugging of failing
+  (perturbation, fault-plan) pairs into minimal replayable witnesses.
+
+Entry point: ``python -m repro fuzz``.
+"""
+
+from .campaign import run_campaign, run_fuzz_cell
+from .faults import FaultPlan
+from .minimize import minimize_witness, replay_witness
+from .oracles import evaluate_run
+from .perturb import make_perturber
+
+__all__ = [
+    "FaultPlan",
+    "evaluate_run",
+    "make_perturber",
+    "minimize_witness",
+    "replay_witness",
+    "run_campaign",
+    "run_fuzz_cell",
+]

@@ -1,0 +1,283 @@
+"""Budgeted fuzz campaigns over the parallel experiment engine.
+
+A campaign is ``budget`` independent trials of one ``(attack, defense,
+seed)`` scenario.  Trial ``i`` derives its own seed with
+:func:`~repro.runtime.rng.hash_seed` and generates a (perturbation spec,
+fault plan) pair from it, so the whole campaign is a pure function of
+its parameters: shards are ordinary
+:class:`~repro.harness.parallel.ExperimentEngine` cells (kind
+``"fuzz"``), fan out across worker processes, and land in the
+content-addressed result cache like any Table I cell — a warm rerun of
+a campaign recomputes nothing.
+
+The *event* budget rides separately: fuzz runs lower the simulator's
+``max_events`` backstop through ``$REPRO_MAX_EVENTS`` (inherited by pool
+workers), so a perturbed schedule that loops where the nominal one
+terminates fails fast with its recent dispatch labels instead of
+spinning for fifty million events.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.scenario import run_traced_scenario
+from ..harness.parallel import Cell, ExperimentEngine
+from ..runtime.rng import hash_seed
+from ..runtime.simtime import ms
+from .oracles import evaluate_run
+from .perturb import DELAY_CHOICES_NS, exempt_label
+
+#: Default fuzz scenario: the schedule-sensitive UAF the paper opens with.
+DEFAULT_ATTACK = "cve-2018-5092"
+DEFAULT_DEFENSE = "legacy-chrome"
+
+#: Strategy names ``--strategy`` accepts ("mixed" cycles through these).
+STRATEGIES = ("jitter", "priority", "targeted")
+
+#: Trials per engine cell (shard): big enough to amortise process
+#: dispatch, small enough that a campaign still shards across workers.
+DEFAULT_SHARD = 10
+
+#: Horizon (ns) fault times are drawn from — covers the active window of
+#: every Table I scenario.
+FAULT_HORIZON_NS = ms(500)
+
+#: Task sources whose labels make interesting reordering targets.
+TARGET_SOURCES = ("message", "timer", "worker", "network")
+
+
+@lru_cache(maxsize=32)
+def interesting_labels(attack: str, defense: str, seed: int) -> Tuple[str, ...]:
+    """Reordering targets from a baseline (unperturbed) traced run.
+
+    Collects the task labels of postMessage/timer/worker-lifecycle/
+    network dispatches — the happens-before edge kinds the targeted
+    strategy reorders around.  Memoised per process: every trial of a
+    shard shares one baseline run.
+    """
+    tracer, _outcome = run_traced_scenario(attack, defense, seed=seed)
+    labels = set()
+    for event in tracer.events:
+        if event.get("ph") != "X":
+            continue
+        source = event.get("args", {}).get("source")
+        label = event.get("name", "")
+        if source in TARGET_SOURCES and not exempt_label(label):
+            labels.add(label)
+    return tuple(sorted(labels))
+
+
+def generate_trial(
+    attack: str,
+    defense: str,
+    seed: int,
+    index: int,
+    strategy: str,
+    labels: Tuple[str, ...],
+) -> Tuple[dict, dict]:
+    """The (perturbation spec, fault spec) pair for trial ``index``.
+
+    Pure function of its arguments: the trial RNG is a private
+    ``random.Random`` seeded from the campaign seed and trial index
+    (never the global ``random`` state), so a shard recomputes to the
+    same specs on every machine.
+    """
+    trial_seed = hash_seed(seed, f"fuzz:{attack}:{defense}:{index}")
+    rng = random.Random(trial_seed)
+
+    chosen = strategy
+    if strategy == "mixed":
+        chosen = STRATEGIES[index % len(STRATEGIES)]
+
+    if chosen == "jitter":
+        perturb_spec = {
+            "strategy": "jitter",
+            "seed": trial_seed,
+            "rate": round(0.15 + rng.random() * 0.5, 3),
+            "magnitude_ns": rng.choice(DELAY_CHOICES_NS),
+        }
+    elif chosen == "priority":
+        perturb_spec = {
+            "strategy": "priority",
+            "seed": trial_seed,
+            "levels": rng.choice((2, 3, 4)),
+            "step_ns": rng.choice(DELAY_CHOICES_NS),
+            "change_every": rng.choice((4, 16, 64)),
+        }
+    elif chosen == "targeted":
+        pool = list(labels)
+        rules = []
+        if pool:
+            for target in rng.sample(pool, k=min(len(pool), rng.randint(1, 4))):
+                rules.append(
+                    {"match": target, "delay_ns": rng.choice(DELAY_CHOICES_NS)}
+                )
+        perturb_spec = {"strategy": "targeted", "rules": rules}
+    else:
+        raise ValueError(
+            f"unknown strategy {chosen!r}; expected 'mixed' or one of {STRATEGIES}"
+        )
+
+    fault_spec: dict = {"network": [], "aborts": [], "crashes": []}
+    if rng.random() < 0.5:  # half the trials also shake the environment
+        kind = rng.choice(("latency", "drop", "abort", "crash"))
+        at = rng.randrange(FAULT_HORIZON_NS)
+        if kind in ("latency", "drop"):
+            fault_spec["network"].append(
+                {
+                    "kind": kind,
+                    "from_ns": at,
+                    "until_ns": at + rng.choice((ms(5), ms(50), ms(200))),
+                    "extra_ns": rng.choice(DELAY_CHOICES_NS) if kind == "latency" else 0,
+                    "path_contains": "",
+                }
+            )
+        elif kind == "abort":
+            fault_spec["aborts"].append({"at_ns": at, "path_contains": ""})
+        else:
+            fault_spec["crashes"].append(
+                {"at_ns": at, "worker": rng.randrange(4), "detail": "injected worker crash"}
+            )
+    return perturb_spec, fault_spec
+
+
+def run_fuzz_cell(
+    attack: str,
+    defense: str,
+    seed: int,
+    start: int,
+    count: int,
+    strategy: str = "mixed",
+    check_determinism: Optional[bool] = None,
+) -> dict:
+    """One campaign shard: trials ``start .. start+count-1`` (JSON-pure)."""
+    labels = interesting_labels(attack, defense, seed)
+    witnesses: List[dict] = []
+    outcomes: Dict[str, int] = {}
+    signatures: Dict[str, int] = {}
+    order_violations = 0
+    for index in range(start, start + count):
+        perturb_spec, fault_spec = generate_trial(
+            attack, defense, seed, index, strategy, labels
+        )
+        verdict = evaluate_run(
+            attack,
+            defense,
+            seed,
+            perturb_spec=perturb_spec,
+            fault_spec=fault_spec,
+            check_determinism=check_determinism,
+        )
+        outcomes[verdict["outcome"]] = outcomes.get(verdict["outcome"], 0) + 1
+        order_violations += verdict["order_violations"]
+        if verdict["interesting"]:
+            sig = "+".join(verdict["failures"])
+            signatures[sig] = signatures.get(sig, 0) + 1
+            witnesses.append(
+                {
+                    "attack": attack,
+                    "defense": defense,
+                    "seed": seed,
+                    "trial": index,
+                    "strategy": strategy,
+                    "perturb": perturb_spec,
+                    "faults": fault_spec,
+                    "check_determinism": check_determinism,
+                    "verdict": verdict,
+                }
+            )
+    return {
+        "trials": count,
+        "witnesses": witnesses,
+        "outcomes": outcomes,
+        "signatures": signatures,
+        "order_violations": order_violations,
+    }
+
+
+def run_campaign(
+    attack: str = DEFAULT_ATTACK,
+    defense: str = DEFAULT_DEFENSE,
+    seed: int = 0,
+    budget: int = 200,
+    strategy: str = "mixed",
+    parallel: Optional[int] = None,
+    cache=None,
+    shard_size: int = DEFAULT_SHARD,
+    check_determinism: Optional[bool] = None,
+) -> dict:
+    """Run a full campaign, sharded over the experiment engine.
+
+    ``budget`` is the trial count.  Returns an aggregate report with
+    every witness found (un-minimized — see
+    :func:`repro.explore.minimize.minimize_witness`).
+    """
+    if budget <= 0:
+        raise ValueError(f"budget must be positive, got {budget}")
+    shard_size = max(int(shard_size), 1)
+    cells = [
+        Cell(
+            "fuzz",
+            {
+                "attack": attack,
+                "defense": defense,
+                "seed": seed,
+                "start": start,
+                "count": min(shard_size, budget - start),
+                "strategy": strategy,
+                "check_determinism": check_determinism,
+            },
+        )
+        for start in range(0, budget, shard_size)
+    ]
+    engine = ExperimentEngine(workers=parallel, cache=cache)
+    results = engine.run(cells)
+
+    witnesses: List[dict] = []
+    outcomes: Dict[str, int] = {}
+    signatures: Dict[str, int] = {}
+    errors: List[str] = []
+    trials = 0
+    order_violations = 0
+    for result in results:
+        if not result.ok:
+            errors.append(f"{result.cell.label()}: {result.error}")
+            continue
+        payload = result.payload
+        trials += payload["trials"]
+        order_violations += payload["order_violations"]
+        witnesses.extend(payload["witnesses"])
+        for outcome, n in payload["outcomes"].items():
+            outcomes[outcome] = outcomes.get(outcome, 0) + n
+        for sig, n in payload["signatures"].items():
+            signatures[sig] = signatures.get(sig, 0) + n
+
+    return {
+        "attack": attack,
+        "defense": defense,
+        "seed": seed,
+        "budget": budget,
+        "strategy": strategy,
+        "trials": trials,
+        "witnesses": witnesses,
+        "outcomes": outcomes,
+        "signatures": signatures,
+        "order_violations": order_violations,
+        "computed_shards": engine.computed,
+        "cached_shards": engine.cache_hits,
+        "errors": errors,
+    }
+
+
+__all__ = [
+    "DEFAULT_ATTACK",
+    "DEFAULT_DEFENSE",
+    "STRATEGIES",
+    "generate_trial",
+    "interesting_labels",
+    "run_campaign",
+    "run_fuzz_cell",
+]

@@ -1,0 +1,140 @@
+"""Declarative fault plans: what breaks, and at which virtual time.
+
+A :class:`FaultPlan` is a JSON-shaped description of environment faults
+to inject into a run:
+
+* ``network`` — :class:`~repro.runtime.network.NetworkFault` windows
+  (latency spikes, blackholed responses) keyed by request-issue time and
+  URL-path substring;
+* ``aborts`` — forced aborts of in-flight requests at a virtual time
+  (``SimNetwork.abort_inflight`` — the server resetting connections);
+* ``crashes`` — worker crashes at a virtual time
+  (:meth:`~repro.runtime.worker.WorkerAgent.crash`).
+
+Plans reach the runtime through the ambient browser interceptor
+(:func:`~repro.runtime.browser.browser_intercept`): attack code builds
+its browsers internally, and the interceptor arms every one of them at
+construction time — after the defense installed, so the plan sees the
+final plumbing.  Trigger callbacks are scheduled under ``fault:*``
+labels, which the perturbation layer leaves untouched (injection times
+must be exact or witnesses would not replay bit-for-bit).
+
+The plan's entries are the atoms witness minimization removes: see
+:meth:`FaultPlan.atoms` / :meth:`FaultPlan.subset`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import List, Optional, Tuple
+
+from ..runtime.browser import browser_intercept
+from ..runtime.network import NetworkFault
+
+
+def _network_entry(raw: dict) -> dict:
+    return {
+        "kind": str(raw.get("kind", "latency")),
+        "from_ns": int(raw.get("from_ns", 0)),
+        "until_ns": int(raw["until_ns"]),
+        "extra_ns": int(raw.get("extra_ns", 0)),
+        "path_contains": str(raw.get("path_contains", "")),
+    }
+
+
+def _abort_entry(raw: dict) -> dict:
+    return {
+        "at_ns": int(raw["at_ns"]),
+        "path_contains": str(raw.get("path_contains", "")),
+    }
+
+
+def _crash_entry(raw: dict) -> dict:
+    return {
+        "at_ns": int(raw["at_ns"]),
+        "worker": int(raw.get("worker", 0)),
+        "detail": str(raw.get("detail", "injected worker crash")),
+    }
+
+
+class FaultPlan:
+    """A set of environment faults, armed on every browser of a run."""
+
+    def __init__(
+        self,
+        network: Optional[List[dict]] = None,
+        aborts: Optional[List[dict]] = None,
+        crashes: Optional[List[dict]] = None,
+    ):
+        self.network = [_network_entry(f) for f in (network or [])]
+        self.aborts = [_abort_entry(a) for a in (aborts or [])]
+        self.crashes = [_crash_entry(c) for c in (crashes or [])]
+
+    # -- (de)serialisation ----------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Optional[dict]) -> "FaultPlan":
+        data = data or {}
+        return cls(
+            network=data.get("network"),
+            aborts=data.get("aborts"),
+            crashes=data.get("crashes"),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "network": [dict(f) for f in self.network],
+            "aborts": [dict(a) for a in self.aborts],
+            "crashes": [dict(c) for c in self.crashes],
+        }
+
+    @property
+    def empty(self) -> bool:
+        return not (self.network or self.aborts or self.crashes)
+
+    # -- minimization atoms ---------------------------------------------
+    def atoms(self) -> List[Tuple[str, int]]:
+        """Every removable entry as ``(section, index)``."""
+        return (
+            [("network", i) for i in range(len(self.network))]
+            + [("aborts", i) for i in range(len(self.aborts))]
+            + [("crashes", i) for i in range(len(self.crashes))]
+        )
+
+    def subset(self, atoms: List[Tuple[str, int]]) -> "FaultPlan":
+        """The plan restricted to the given atoms (order preserved)."""
+        keep = set(atoms)
+        return FaultPlan(
+            network=[f for i, f in enumerate(self.network) if ("network", i) in keep],
+            aborts=[a for i, a in enumerate(self.aborts) if ("aborts", i) in keep],
+            crashes=[c for i, c in enumerate(self.crashes) if ("crashes", i) in keep],
+        )
+
+    # -- arming ----------------------------------------------------------
+    def arm(self, browser) -> None:
+        """Wire this plan into one browser (the interceptor hook)."""
+        for entry in self.network:
+            browser.network.faults.append(NetworkFault(**entry))
+        for entry in self.aborts:
+            def fire_abort(entry=entry, browser=browser) -> None:
+                browser.network.abort_inflight(entry["path_contains"])
+
+            browser.sim.schedule(entry["at_ns"], fire_abort, label="fault:net-abort")
+        for entry in self.crashes:
+            def fire_crash(entry=entry, browser=browser) -> None:
+                alive = [w for w in browser.workers if w.alive]
+                if alive:
+                    alive[entry["worker"] % len(alive)].crash(entry["detail"])
+
+            browser.sim.schedule(entry["at_ns"], fire_crash, label="fault:worker-crash")
+
+    @contextmanager
+    def apply(self):
+        """Arm this plan on every browser built inside the block."""
+        if self.empty:
+            yield self
+            return
+        with browser_intercept(self.arm):
+            yield self
+
+
+__all__ = ["FaultPlan"]

@@ -1,0 +1,202 @@
+"""Witness minimization (ddmin) and bit-for-bit replay.
+
+A raw witness records everything a failing trial injected — a
+perturbation spec plus a fault plan.  Most of it is usually irrelevant:
+the trial's jitter touched hundreds of labels but the failure needed
+one reordering, or needed nothing at all (the nominal schedule already
+fails).  :func:`minimize_witness` delta-debugs the witness's *atoms* —
+individual targeted-reorder rules, individual fault entries, the
+monolithic jitter/priority spec — down to a subset that still produces
+the **same failure signature**, re-running the oracle battery for every
+candidate.  Because a verdict is a pure function of the specs
+(:mod:`repro.explore.oracles`), every probe is decisive; no "flaky
+reproduction" retries are needed.
+
+The minimized witness is a self-contained JSON file::
+
+    {"attack": ..., "defense": ..., "seed": ..., "trial": ...,
+     "perturb": {...}, "faults": {...}, "signature": [...],
+     "verdict": {...}, "minimized": {"tests_run": ..., ...}}
+
+``python -m repro fuzz --replay witness.json`` re-evaluates it (twice)
+and checks the signature still matches — the replayability contract.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, List, Optional, Tuple
+
+from .faults import FaultPlan
+from .oracles import evaluate_run, signature
+
+Atom = Tuple[str, int]
+
+
+def ddmin(atoms: List[Atom], test: Callable[[List[Atom]], bool]) -> Tuple[List[Atom], int]:
+    """Zeller's ddmin: a 1-minimal subset of ``atoms`` still failing ``test``.
+
+    ``test(subset)`` must return True when the subset reproduces the
+    failure; the full set is assumed to.  Returns ``(subset,
+    tests_run)``.
+    """
+    tests_run = 0
+
+    def check(subset: List[Atom]) -> bool:
+        nonlocal tests_run
+        tests_run += 1
+        return test(subset)
+
+    if check([]):
+        return [], tests_run  # the nominal schedule already fails
+    current = list(atoms)
+    granularity = 2
+    while len(current) >= 2:
+        chunk = max(1, len(current) // granularity)
+        chunks = [current[i : i + chunk] for i in range(0, len(current), chunk)]
+        reduced = False
+        for index in range(len(chunks)):
+            complement = [a for j, c in enumerate(chunks) if j != index for a in c]
+            if complement != current and check(complement):
+                current = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current, tests_run
+
+
+# ----------------------------------------------------------------------
+# witness atoms
+# ----------------------------------------------------------------------
+def witness_atoms(witness: dict) -> List[Atom]:
+    """The removable components of a witness.
+
+    Targeted rules and fault entries are individually removable; a
+    jitter/priority spec is one monolithic ``("perturb", 0)`` atom (its
+    per-label decisions are not separable without changing the stream).
+    """
+    atoms: List[Atom] = []
+    perturb = witness.get("perturb") or {}
+    strategy = perturb.get("strategy", "none")
+    if strategy == "targeted":
+        atoms.extend(("rule", i) for i in range(len(perturb.get("rules", []))))
+    elif strategy != "none":
+        atoms.append(("perturb", 0))
+    atoms.extend(FaultPlan.from_dict(witness.get("faults")).atoms())
+    return atoms
+
+
+def build_specs(witness: dict, atoms: List[Atom]) -> Tuple[Optional[dict], dict]:
+    """The (perturb spec, fault spec) a subset of atoms describes."""
+    keep = set(atoms)
+    perturb = witness.get("perturb") or {}
+    strategy = perturb.get("strategy", "none")
+    if strategy == "targeted":
+        rules = [
+            rule
+            for i, rule in enumerate(perturb.get("rules", []))
+            if ("rule", i) in keep
+        ]
+        perturb_spec: Optional[dict] = (
+            dict(perturb, rules=rules) if rules else {"strategy": "none"}
+        )
+    elif strategy != "none" and ("perturb", 0) in keep:
+        perturb_spec = dict(perturb)
+    else:
+        perturb_spec = {"strategy": "none"}
+    fault_atoms = [a for a in keep if a[0] in ("network", "aborts", "crashes")]
+    fault_spec = FaultPlan.from_dict(witness.get("faults")).subset(fault_atoms).to_dict()
+    return perturb_spec, fault_spec
+
+
+# ----------------------------------------------------------------------
+# minimize / replay
+# ----------------------------------------------------------------------
+def replay_witness(witness: dict) -> dict:
+    """Re-run a witness's trial; returns the fresh oracle verdict."""
+    return evaluate_run(
+        witness["attack"],
+        witness["defense"],
+        witness["seed"],
+        perturb_spec=witness.get("perturb"),
+        fault_spec=witness.get("faults"),
+        check_determinism=witness.get("check_determinism"),
+    )
+
+
+def minimize_witness(witness: dict) -> dict:
+    """Delta-debug one witness; returns the minimized witness.
+
+    The preserved property is the exact failure signature of the
+    original verdict.  The result carries a ``minimized`` block with the
+    reduction statistics and keeps the re-evaluated verdict.
+    """
+    target = signature(witness["verdict"])
+    atoms = witness_atoms(witness)
+
+    def test(subset: List[Atom]) -> bool:
+        perturb_spec, fault_spec = build_specs(witness, subset)
+        verdict = evaluate_run(
+            witness["attack"],
+            witness["defense"],
+            witness["seed"],
+            perturb_spec=perturb_spec,
+            fault_spec=fault_spec,
+            check_determinism=witness.get("check_determinism"),
+        )
+        return signature(verdict) == target
+
+    minimal, tests_run = ddmin(atoms, test)
+    perturb_spec, fault_spec = build_specs(witness, minimal)
+    verdict = evaluate_run(
+        witness["attack"],
+        witness["defense"],
+        witness["seed"],
+        perturb_spec=perturb_spec,
+        fault_spec=fault_spec,
+        check_determinism=witness.get("check_determinism"),
+    )
+    return {
+        "attack": witness["attack"],
+        "defense": witness["defense"],
+        "seed": witness["seed"],
+        "trial": witness.get("trial"),
+        "strategy": witness.get("strategy"),
+        "check_determinism": witness.get("check_determinism"),
+        "perturb": perturb_spec,
+        "faults": fault_spec,
+        "signature": target,
+        "verdict": verdict,
+        "minimized": {
+            "atoms_before": len(atoms),
+            "atoms_after": len(minimal),
+            "tests_run": tests_run,
+        },
+    }
+
+
+def save_witness(witness: dict, path: str) -> None:
+    """Write one witness as pretty, key-sorted JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(witness, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_witness(path: str) -> dict:
+    """Read a witness file back."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+__all__ = [
+    "ddmin",
+    "load_witness",
+    "minimize_witness",
+    "replay_witness",
+    "save_witness",
+    "witness_atoms",
+]

@@ -1,0 +1,168 @@
+"""Per-run fuzz oracles: what counts as a finding.
+
+One fuzz trial = one scenario run under a (perturbation spec, fault
+plan).  :func:`evaluate_run` executes the trial traced and derives a
+JSON verdict from four oracle batteries:
+
+* **races** — :func:`repro.analysis.races.analyze_races` over every run
+  in the capture; any unordered conflicting access pair is a finding,
+  with ``use-after-free`` pairs (the CVE-2018-5092 shape) called out;
+* **outcome** — the scenario's own summary: ``crash: ...`` /
+  escaped-error outcomes tag ``crash``, ``leak obtained`` tags ``leak``;
+* **kernel invariant** — under an order-enforcing policy the dispatcher
+  must dispatch events in monotone predicted-time order; the dispatcher
+  emits a ``kernel.order-violation`` trace instant whenever that fails
+  (see :mod:`repro.kernel.dispatcher`), and any such instant is a kernel
+  bug by definition;
+* **determinism** — the trial is run a *second* time with byte-identical
+  inputs; any schedule or outcome divergence means the implementation
+  leaked nondeterminism (global RNG state, iteration-order dependence) —
+  the property every replayable witness rests on.  Enabled by default
+  for the defenses that promise deterministic schedules
+  (:data:`~repro.harness.audit.DETERMINISTIC_DEFENSES`).
+
+Deliberately **not** findings: ``DeadlockError``/``SimulationError``
+outcomes.  A plan that blackholes the response a scenario awaits hangs
+it by construction — recording the hang is useful, alarming on it is
+noise.
+
+The verdict is a pure function of ``(attack, defense, seed,
+perturb_spec, fault_spec)`` — the contract witness replay depends on.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.determinism import Schedule, extract_schedule, schedule_divergence
+from ..analysis.hbgraph import run_pids
+from ..analysis.races import analyze_races
+from ..analysis.scenario import run_traced_scenario
+from ..harness.audit import DETERMINISTIC_DEFENSES
+from ..runtime.simulator import perturbation
+from .faults import FaultPlan
+from .perturb import make_perturber
+
+#: Escaped-error outcome prefixes that count as crashes.
+CRASH_MARKERS = (
+    "crash:",
+    "UseAfterFreeError:",
+    "DoubleFreeError:",
+    "NullDerefError:",
+    "BrowserCrash:",
+)
+
+
+def traced_run(
+    attack: str,
+    defense: str,
+    seed: int,
+    perturb_spec: Optional[dict] = None,
+    fault_spec: Optional[dict] = None,
+):
+    """One scenario run under perturbation + faults, traced.
+
+    Returns ``(tracer, outcome)`` exactly like
+    :func:`~repro.analysis.scenario.run_traced_scenario`.
+    """
+    perturber = make_perturber(perturb_spec)
+    plan = FaultPlan.from_dict(fault_spec)
+    with ExitStack() as stack:
+        stack.enter_context(plan.apply())
+        if perturber is not None:
+            stack.enter_context(perturbation(perturber))
+        return run_traced_scenario(attack, defense, seed=seed)
+
+
+def kernel_order_violations(events: List[dict]) -> int:
+    """How many dispatches broke the predicted-time order invariant."""
+    return sum(1 for event in events if event.get("name") == "kernel.order-violation")
+
+
+def merged_schedule(events: List[dict]) -> Schedule:
+    """All runs' dispatch schedules folded into one row-keyed schedule."""
+    merged: Dict[str, List[Tuple[str, int]]] = {}
+    for pid in run_pids(events):
+        for row, seq in extract_schedule(events, pid).items():
+            merged.setdefault(row, []).extend(seq)
+    return merged
+
+
+def evaluate_run(
+    attack: str,
+    defense: str,
+    seed: int,
+    perturb_spec: Optional[dict] = None,
+    fault_spec: Optional[dict] = None,
+    check_determinism: Optional[bool] = None,
+) -> dict:
+    """Run one fuzz trial and return its oracle verdict (JSON-shaped).
+
+    ``check_determinism=None`` auto-enables the replay-divergence oracle
+    for determinism-promising defenses.
+    """
+    if check_determinism is None:
+        check_determinism = defense in DETERMINISTIC_DEFENSES
+
+    tracer, outcome = traced_run(attack, defense, seed, perturb_spec, fault_spec)
+
+    races = 0
+    uaf_races = 0
+    patterns = set()
+    for pid in run_pids(tracer.events):
+        report = analyze_races(tracer.events, pid=pid)
+        races += report["race_count"]
+        for race in report["races"]:
+            patterns.add(race["pattern"])
+            if race["pattern"] == "use-after-free":
+                uaf_races += 1
+
+    violations = kernel_order_violations(tracer.events)
+
+    failures = [f"race:{pattern}" for pattern in patterns]
+    if outcome.startswith(CRASH_MARKERS):
+        failures.append("crash")
+    if "leak obtained" in outcome:
+        failures.append("leak")
+    if violations:
+        failures.append("kernel:order-violation")
+
+    divergence = None
+    if check_determinism:
+        tracer2, outcome2 = traced_run(attack, defense, seed, perturb_spec, fault_spec)
+        divergence, _first = schedule_divergence(
+            merged_schedule(tracer.events), merged_schedule(tracer2.events)
+        )
+        if divergence or outcome2 != outcome:
+            failures.append("nondeterminism")
+
+    failures = sorted(set(failures))
+    return {
+        "attack": attack,
+        "defense": defense,
+        "seed": seed,
+        "outcome": outcome,
+        "races": races,
+        "uaf_races": uaf_races,
+        "race_patterns": sorted(patterns),
+        "order_violations": violations,
+        "divergence": divergence,
+        "failures": failures,
+        "interesting": bool(failures),
+    }
+
+
+def signature(verdict: dict) -> List[str]:
+    """The failure signature minimization must preserve."""
+    return list(verdict["failures"])
+
+
+__all__ = [
+    "CRASH_MARKERS",
+    "evaluate_run",
+    "kernel_order_violations",
+    "merged_schedule",
+    "signature",
+    "traced_run",
+]

@@ -36,6 +36,8 @@ import tempfile
 from functools import lru_cache
 from typing import Any, Dict, Optional
 
+from ..trace import current_tracer
+
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
@@ -115,12 +117,12 @@ class ResultCache:
             with open(self.path(key), "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
         except (OSError, ValueError):
-            self.misses += 1
+            self._count("misses")
             return None
         if not isinstance(entry, dict) or "payload" not in entry:
-            self.misses += 1
+            self._count("misses")
             return None
-        self.hits += 1
+        self._count("hits")
         return entry
 
     def put(self, key: str, kind: str, params: Dict[str, Any], payload: Any) -> None:
@@ -139,7 +141,19 @@ class ResultCache:
             except OSError:
                 pass
             raise
-        self.stores += 1
+        self._count("stores")
+
+    def _count(self, event: str) -> None:
+        """Bump one traffic counter, mirrored into the ambient metrics.
+
+        With a capture active, ``--metrics`` output then reports cache
+        traffic (``cache.hits`` / ``cache.misses`` / ``cache.stores``)
+        alongside the runtime's own counters.
+        """
+        setattr(self, event, getattr(self, event) + 1)
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.metrics.counter(f"cache.{event}").inc()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

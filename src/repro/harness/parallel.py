@@ -151,6 +151,14 @@ def _run_alexa_cell(config: str, rank: int, site_count: int, visits: int, seed: 
     return {"avg_ms": measure_site_average(config, site, visits=visits, seed=seed)}
 
 
+@cell_kind("fuzz")
+def _run_fuzz_cell(**params) -> dict:
+    """One fuzz-campaign shard (see :mod:`repro.explore.campaign`)."""
+    from ..explore.campaign import run_fuzz_cell
+
+    return run_fuzz_cell(**params)
+
+
 # ----------------------------------------------------------------------
 # worker-side execution
 # ----------------------------------------------------------------------
@@ -229,6 +237,10 @@ class ExperimentEngine:
         """Execute every cell; results come back in submission order."""
         cells = list(cells)
         results: List[Optional[CellResult]] = [None] * len(cells)
+        # counters accumulate across run() calls; metrics report deltas
+        computed_before = self.computed
+        cache_hits_before = self.cache_hits
+        errors_before = self.errors
 
         pending: List[Tuple[int, Cell]] = []
         keys: Dict[int, str] = {}
@@ -258,6 +270,17 @@ class ExperimentEngine:
                     self.errors += 1
                     result = CellResult(cell, error=outcome["error"])
                 results[index] = result
+
+        tracer = current_tracer()
+        if tracer.enabled:
+            # surface engine traffic in --metrics output alongside the
+            # cache's own get/put counters (see repro.harness.cache)
+            metrics = tracer.metrics
+            metrics.counter("engine.cells").inc(len(cells))
+            metrics.counter("engine.computed").inc(self.computed - computed_before)
+            metrics.counter("engine.cache_hits").inc(self.cache_hits - cache_hits_before)
+            if self.errors > errors_before:
+                metrics.counter("engine.errors").inc(self.errors - errors_before)
 
         return [result for result in results if result is not None]
 

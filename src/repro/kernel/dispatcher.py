@@ -41,6 +41,12 @@ class Dispatcher:
         self._armed_for: Optional[int] = None
         self._dispatch_scheduled = False
         self.dispatched_count = 0
+        #: Kernel invariant telemetry: under an order-enforcing policy the
+        #: dispatched predicted times must be monotone non-decreasing.
+        #: Any violation is a kernel bug (fuzz oracle, see
+        #: repro.explore.oracles).
+        self._last_predicted: Optional[int] = None
+        self.order_violations = 0
 
     # ------------------------------------------------------------------
     def kick(self) -> None:
@@ -107,6 +113,27 @@ class Dispatcher:
     def _invoke(self, event: KernelEvent) -> None:
         sim = self.loop.sim
         sim.consume(DISPATCH_COST)
+        if self.kspace.policy.enforces_order:
+            if (
+                self._last_predicted is not None
+                and event.predicted_time < self._last_predicted
+            ):
+                self.order_violations += 1
+                if sim.tracer.enabled:
+                    sim.tracer.instant(
+                        sim.trace_pid,
+                        self.kspace.scheduler.trace_row,
+                        "kernel.order-violation",
+                        sim.now,
+                        cat="kernel",
+                        args={
+                            "kind": event.kind,
+                            "predicted_ns": event.predicted_time,
+                            "previous_ns": self._last_predicted,
+                        },
+                    )
+                    sim.tracer.metrics.counter("kernel.order_violations").inc()
+            self._last_predicted = event.predicted_time
         self.kspace.clock.tick_to(event.predicted_time)
         event.status = DISPATCHED
         self.dispatched_count += 1

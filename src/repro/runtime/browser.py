@@ -10,6 +10,7 @@ extension that runs at ``document_start``.
 from __future__ import annotations
 
 import itertools
+from contextlib import contextmanager
 from typing import Callable, List, Optional, Set
 
 from .clock import ClockPolicy, QuantizedClockPolicy
@@ -22,6 +23,33 @@ from .sharedbuf import SharedCounterBuffer
 from .simulator import Simulator
 from .storage import IndexedDBStore
 from .worker import WorkerAgent
+
+
+#: Ambient hooks applied to every Browser at the end of construction
+#: (after the defense installed).  Fault-injection plans use this to reach
+#: browsers that experiment code builds internally (see
+#: :func:`browser_intercept` and :mod:`repro.explore.faults`).
+_active_interceptors: List[Callable[["Browser"], None]] = []
+
+
+def current_interceptors() -> List[Callable[["Browser"], None]]:
+    """The ambient browser interceptors (snapshot)."""
+    return list(_active_interceptors)
+
+
+@contextmanager
+def browser_intercept(hook: Callable[["Browser"], None]):
+    """Run ``hook(browser)`` on every browser built inside the block.
+
+    The hook fires after the defense has installed itself, so it sees the
+    final network/worker plumbing — the point where a fault plan can wire
+    latency spikes, dropped fetches and worker crashes into the run.
+    """
+    _active_interceptors.append(hook)
+    try:
+        yield hook
+    finally:
+        _active_interceptors.remove(hook)
 
 
 class Browser:
@@ -68,6 +96,8 @@ class Browser:
         self.defense = defense
         if defense is not None:
             defense.install(self)
+        for hook in current_interceptors():
+            hook(self)
 
     # ------------------------------------------------------------------
     def open_page(self, url: str = "https://example.com/", private: bool = False) -> Page:
@@ -94,11 +124,13 @@ class Browser:
     # ------------------------------------------------------------------
     # simulation control
     # ------------------------------------------------------------------
-    def run(self, until: Optional[int] = None, max_events: int = 50_000_000) -> None:
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
         """Advance the simulation (see :meth:`Simulator.run`)."""
         self.sim.run(until=until, max_events=max_events)
 
-    def run_until(self, predicate: Callable[[], bool], max_events: int = 50_000_000) -> None:
+    def run_until(
+        self, predicate: Callable[[], bool], max_events: Optional[int] = None
+    ) -> None:
         """Advance until ``predicate()`` holds (see :meth:`Simulator.run_until`)."""
         self.sim.run_until(predicate, max_events=max_events)
 

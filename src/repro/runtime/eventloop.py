@@ -65,6 +65,15 @@ class EventLoop:
         if self.stopped:
             return task  # terminated workers silently drop new work
         task.enqueue_time = self.sim.now
+        perturber = self.sim.perturber
+        if perturber is not None:
+            # schedule-space exploration hook: a perturbation may delay a
+            # task's ready time (never advance it), reordering it against
+            # tasks from other sources — see repro.explore.perturb
+            task.ready_time = max(
+                perturber.perturb(self.sim, task.ready_time, task.label or task.source.value),
+                task.ready_time,
+            )
         if task.ready_time < self.sim.dispatch_time:
             task.ready_time = self.sim.dispatch_time
         heapq.heappush(self._queue, (task.ready_time, task.id, task))

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..errors import SimulationError
 from .eventloop import EventLoop
@@ -81,6 +81,8 @@ class NetworkRequest:
         self._task = task
         self.cancelled = False
         self.completed = False
+        #: True when a fault window swallowed this request's response.
+        self.dropped = False
 
     def cancel(self) -> None:
         """Abort the request; its completion task will not run."""
@@ -89,6 +91,41 @@ class NetworkRequest:
         self.cancelled = True
         if self._task is not None:
             self._task.cancel()
+
+
+class NetworkFault:
+    """One declarative fault window on the simulated network.
+
+    Applies to requests *issued* while ``from_ns <= now < until_ns`` whose
+    URL path contains ``path_contains`` (empty matches everything).
+    ``kind`` is ``"latency"`` (adds ``extra_ns`` to the completion delay)
+    or ``"drop"`` (the response never arrives — the request stays in
+    flight forever, like a silently blackholed connection).
+    """
+
+    __slots__ = ("kind", "from_ns", "until_ns", "extra_ns", "path_contains")
+
+    def __init__(
+        self,
+        kind: str,
+        from_ns: int,
+        until_ns: int,
+        extra_ns: int = 0,
+        path_contains: str = "",
+    ):
+        if kind not in ("latency", "drop"):
+            raise SimulationError(f"unknown network fault kind {kind!r}")
+        self.kind = kind
+        self.from_ns = from_ns
+        self.until_ns = until_ns
+        self.extra_ns = extra_ns
+        self.path_contains = path_contains
+
+    def matches(self, now: int, url: URL) -> bool:
+        """Does this window apply to a request issued now for ``url``?"""
+        if not (self.from_ns <= now < self.until_ns):
+            return False
+        return self.path_contains in url.path
 
 
 class SimNetwork:
@@ -110,6 +147,13 @@ class SimNetwork:
         self._resources: Dict[str, Resource] = {}
         self._cache: Dict[str, bool] = {}
         self.requests_served = 0
+        self.requests_dropped = 0
+        #: Declarative fault windows (see :class:`NetworkFault`); fault
+        #: plans append here via the browser interceptor hook.
+        self.faults: List[NetworkFault] = []
+        #: Requests issued but not yet completed/cancelled/dropped —
+        #: the population a forced-abort fault picks from.
+        self.inflight: List[NetworkRequest] = []
 
     # ------------------------------------------------------------------
     # hosting
@@ -186,9 +230,36 @@ class SimNetwork:
             response = NetworkResponse(url, 404, None, False)
 
         request = NetworkRequest(url, None)
+        now = loop.sim.now
+        for fault in self.faults:
+            if fault.kind == "latency" and fault.matches(now, url):
+                delay += fault.extra_ns
+                if loop.sim.tracer.enabled:
+                    loop.sim.tracer.metrics.counter("network.faults.latency").inc()
+
+        if any(f.kind == "drop" and f.matches(now, url) for f in self.faults):
+            # blackholed: no completion task is ever posted, the request
+            # simply stays pending (abort still works on it)
+            request.dropped = True
+            self.requests_dropped += 1
+            self.inflight.append(request)
+            tracer = loop.sim.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    loop.sim.trace_pid,
+                    loop.sim.trace_context,
+                    "fault.net-drop",
+                    now,
+                    cat="fault",
+                    args={"url": url.serialize()},
+                )
+                tracer.metrics.counter("network.faults.dropped").inc()
+            return request
 
         def deliver() -> None:
             request.completed = True
+            if request in self.inflight:
+                self.inflight.remove(request)
             on_complete(response)
 
         task = loop.post(
@@ -198,7 +269,26 @@ class SimNetwork:
             label=f"net:{url.path}",
         )
         request._task = task
+        self.inflight.append(request)
         return request
+
+    def abort_inflight(self, path_contains: str = "") -> int:
+        """Force-abort matching in-flight requests (fault injection).
+
+        Cancels every pending request whose path contains
+        ``path_contains`` — the server resetting the connection mid
+        transfer.  Returns the number of requests aborted.
+        """
+        aborted = 0
+        for request in list(self.inflight):
+            if request.completed or request.cancelled:
+                self.inflight.remove(request)
+                continue
+            if path_contains in request.url.path:
+                request.cancel()
+                self.inflight.remove(request)
+                aborted += 1
+        return aborted
 
     def _completion_delay(self, url: URL, resource: Optional[Resource], use_cache: bool) -> int:
         if use_cache and resource is not None and self.is_cached(url):

@@ -28,10 +28,74 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
+from collections import deque
+from contextlib import contextmanager
 from typing import Callable, List, Optional, Tuple
 
 from ..errors import DeadlockError, SimulationError
 from ..trace import current_tracer
+
+#: Environment variable overriding the default runaway-loop backstop.
+MAX_EVENTS_ENV = "REPRO_MAX_EVENTS"
+
+#: Built-in runaway-experiment backstop (events per run/run_until call).
+DEFAULT_MAX_EVENTS = 50_000_000
+
+#: How many recently dispatched labels a SimulationError reports.
+RECENT_LABEL_WINDOW = 20
+
+
+def default_max_events() -> int:
+    """The effective ``max_events`` backstop: ``$REPRO_MAX_EVENTS`` or the
+    built-in default.
+
+    Fuzz campaigns lower this (a perturbed schedule can loop where the
+    nominal one terminates) so a runaway run fails fast with context
+    instead of spinning through fifty million events.
+    """
+    raw = os.environ.get(MAX_EVENTS_ENV, "")
+    if not raw:
+        return DEFAULT_MAX_EVENTS
+    try:
+        value = int(raw)
+    except ValueError:
+        raise SimulationError(
+            f"{MAX_EVENTS_ENV} must be an integer, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise SimulationError(f"{MAX_EVENTS_ENV} must be positive, got {value}")
+    return value
+
+
+#: The ambient schedule perturber (see :func:`perturbation`); ``None``
+#: outside an exploration run.  Mirrors the tracer's capture pattern:
+#: simulators snapshot it at construction time.
+_active_perturber = None
+
+
+def current_perturber():
+    """The ambient schedule perturber, or ``None``."""
+    return _active_perturber
+
+
+@contextmanager
+def perturbation(perturber):
+    """Install ``perturber`` for every simulator built inside the block.
+
+    The perturber sees every :meth:`Simulator.schedule` call (and, through
+    the event loops, every posted task) and may push events later in
+    virtual time — the schedule-space exploration hook used by
+    :mod:`repro.explore`.  Nesting restores the previous perturber on
+    exit.
+    """
+    global _active_perturber
+    previous = _active_perturber
+    _active_perturber = perturber
+    try:
+        yield perturber
+    finally:
+        _active_perturber = previous
 
 
 class ScheduledCall:
@@ -108,6 +172,12 @@ class Simulator:
         #: simulator.  ``trace_pid`` is this run's Chrome-trace process id.
         self.tracer = current_tracer()
         self.trace_pid = self.tracer.register_run() if self.tracer.enabled else 0
+        #: The ambient schedule perturber (``None`` outside an exploration
+        #: run); consulted on every schedule() and notified per dispatch.
+        self.perturber = current_perturber()
+        #: Labels of the most recently dispatched events, newest last —
+        #: context for runaway-loop errors.
+        self._recent_labels: deque = deque(maxlen=RECENT_LABEL_WINDOW)
 
     # ------------------------------------------------------------------
     # time
@@ -190,6 +260,12 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {at} before dispatch time {self._time}"
             )
+        if self.perturber is not None:
+            # exploration hook: perturbations may only *delay* events —
+            # moving one earlier could violate causality (a message
+            # delivered before it was sent), which would explore schedules
+            # the real platform can never produce
+            at = max(self.perturber.perturb(self, at, label), at)
         call = ScheduledCall(at, next(self._seq), fn, label)
         heapq.heappush(self._heap, (at, call.seq, call))
         return call
@@ -214,16 +290,28 @@ class Simulator:
             self.events_processed += 1
             self._dispatch_label = call.label or "call"
             self._dispatch_ordinal = self.events_processed
+            self._recent_labels.append(self._dispatch_label)
+            if self.perturber is not None:
+                self.perturber.on_dispatch(self._dispatch_label)
             call.fn()
             return True
         return False
 
-    def run(self, until: Optional[int] = None, max_events: int = 50_000_000) -> None:
+    def recent_dispatch_context(self) -> str:
+        """The last ~20 dispatched labels, oldest first (error context)."""
+        if not self._recent_labels:
+            return "(nothing dispatched yet)"
+        return " -> ".join(self._recent_labels)
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
         """Run until the queue empties or virtual time passes ``until``.
 
-        ``max_events`` is a runaway-experiment backstop; hitting it raises
-        :class:`SimulationError` rather than spinning forever.
+        ``max_events`` is a runaway-experiment backstop (default:
+        ``$REPRO_MAX_EVENTS`` or :data:`DEFAULT_MAX_EVENTS`); hitting it
+        raises :class:`SimulationError` — with the recently dispatched
+        task labels for context — rather than spinning forever.
         """
+        limit = default_max_events() if max_events is None else max_events
         processed = 0
         while self._heap:
             time = self._heap[0][0]
@@ -233,19 +321,24 @@ class Simulator:
             if not self.step():
                 return
             processed += 1
-            if processed > max_events:
+            if processed > limit:
                 raise SimulationError(
-                    f"simulation exceeded {max_events} events (runaway loop?)"
+                    f"simulation exceeded {limit} events (runaway loop?); "
+                    f"last dispatched: {self.recent_dispatch_context()}"
                 )
         if until is not None and until > self._time:
             self._time = until
 
-    def run_until(self, predicate: Callable[[], bool], max_events: int = 50_000_000) -> None:
+    def run_until(
+        self, predicate: Callable[[], bool], max_events: Optional[int] = None
+    ) -> None:
         """Run until ``predicate()`` becomes true.
 
         Raises :class:`DeadlockError` if the event queue drains first: the
-        awaited completion can then never occur.
+        awaited completion can then never occur.  ``max_events`` defaults
+        like :meth:`run`.
         """
+        limit = default_max_events() if max_events is None else max_events
         processed = 0
         while not predicate():
             if not self.step():
@@ -253,9 +346,10 @@ class Simulator:
                     "event queue drained before the awaited condition became true"
                 )
             processed += 1
-            if processed > max_events:
+            if processed > limit:
                 raise SimulationError(
-                    f"run_until exceeded {max_events} events (runaway loop?)"
+                    f"run_until exceeded {limit} events (runaway loop?); "
+                    f"last dispatched: {self.recent_dispatch_context()}"
                 )
 
     @property

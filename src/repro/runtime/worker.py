@@ -405,6 +405,35 @@ class WorkerAgent:
         """True until terminated."""
         return self.state != "terminated"
 
+    def crash(self, detail: str = "injected worker crash") -> None:
+        """Kill the worker abruptly (fault injection).
+
+        Models the worker *process* dying mid-run — the parent gets an
+        ``onerror`` event (as for an unhandled script error) and the
+        normal termination teardown runs, exercising exactly the
+        racy-teardown paths the Table I CVEs live in.
+        """
+        if self.state == "terminated":
+            return
+        tracer = self.host.sim.tracer
+        if tracer.enabled:
+            tracer.instant(
+                self.host.sim.trace_pid,
+                self.name,
+                "fault.worker-crash",
+                self.host.sim.now,
+                cat="fault",
+                args={"detail": detail},
+            )
+            tracer.metrics.counter("workers.crashed").inc()
+        event = ErrorEvent(detail, filename=self.script_url.serialize())
+        self.parent_loop.post(
+            lambda: self.handle.onerror(event) if self.handle.onerror else None,
+            source=TaskSource.WORKER,
+            label=f"{self.name}:crash",
+        )
+        self.terminate(reason="crash")
+
     def terminate(self, reason: str = "parent") -> None:
         """Tear the worker down; bug flags decide how sloppily.
 

@@ -79,6 +79,59 @@ def test_abort_before_start_rejects_immediately(env):
     assert outcomes == ["AbortError"]
 
 
+def test_abort_in_flight_delivers_no_network_task(env):
+    """After an abort, the cancelled response must never be dispatched.
+
+    This is the exact precondition of the CVE-2018-5092 lifecycle bug:
+    a NETWORK task delivered for an aborted request would run a callback
+    against a request object whose teardown already began.
+    """
+    sim, loop, network, _heap, manager = env
+    network.host_simple(parse_url("https://app.example/slow"), 500_000)
+    controller = AbortController()
+    events = []
+    manager.fetch("/slow", {"signal": controller.signal}).then(
+        lambda r: events.append(("resolved", sim.now)),
+        lambda e: events.append(("rejected", sim.now)),
+    )
+    dispatched = []
+    loop.task_observers.append(
+        lambda task, start, end: dispatched.append((task.source, task.label, start))
+    )
+    abort_at = ms(2)
+    loop.post(lambda: controller.abort(), delay=abort_at)
+    sim.run()
+
+    from repro.runtime.task import TaskSource
+
+    network_tasks = [d for d in dispatched if d[0] is TaskSource.NETWORK]
+    assert network_tasks == [], f"NETWORK task dispatched after abort: {network_tasks}"
+    # the promise rejected (abort path) and nothing resolved afterwards
+    assert [kind for kind, _t in events] == ["rejected"]
+
+
+def test_abort_in_flight_runs_no_post_abort_callback(env):
+    sim, loop, network, _heap, manager = env
+    network.host_simple(parse_url("https://app.example/slow"), 500_000)
+    controller = AbortController()
+    post_abort_calls = []
+    aborted_at = {}
+
+    def on_response(_response):
+        post_abort_calls.append(sim.now)
+
+    manager.fetch("/slow", {"signal": controller.signal}).then(on_response, lambda e: None)
+    loop.post(
+        lambda: (controller.abort(), aborted_at.__setitem__("t", sim.now)),
+        delay=ms(1),
+    )
+    sim.run()
+    assert "t" in aborted_at
+    assert post_abort_calls == []
+    # the in-flight request is gone from the network's tracking
+    assert all(r.cancelled or r.completed for r in network.inflight)
+
+
 def test_clean_release_unregisters_from_signal(env):
     sim, _loop, network, _heap, manager = env
     network.host_simple(parse_url("https://app.example/x"), 100)

@@ -1,0 +1,74 @@
+"""Guard: no ``src/repro`` module draws from Python's *global* random state.
+
+Every stochastic decision in the simulated runtime must flow through the
+seeded services (``runtime/rng.py``'s named streams, or private
+``random.Random`` instances) so that runs are replayable and fuzz
+witnesses stay bit-stable.  A single ``random.random()`` call hidden in a
+module would silently couple results to interpreter-global state.
+
+Two layers of defence:
+
+* a static AST scan rejecting ``random.<fn>(...)`` module-state calls
+  (``random.Random(...)`` construction is explicitly allowed), and
+* a dynamic check that running a full traced scenario leaves
+  ``random.getstate()`` untouched.
+"""
+
+import ast
+import os
+import random
+
+import repro
+
+SRC_ROOT = os.path.dirname(os.path.abspath(repro.__file__))
+
+#: The only attribute of the ``random`` module repro code may touch:
+#: constructing a private, explicitly seeded generator.
+ALLOWED_ATTRS = {"Random"}
+
+
+def _repro_sources():
+    for dirpath, dirnames, filenames in os.walk(SRC_ROOT):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def _global_random_uses(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    offenders = []
+    for node in ast.walk(tree):
+        # random.<attr> where <attr> is module-level state
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "random"
+            and node.attr not in ALLOWED_ATTRS
+        ):
+            offenders.append(f"{path}:{node.lineno} random.{node.attr}")
+        # `from random import shuffle` style imports of module-state fns
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            for alias in node.names:
+                if alias.name not in ALLOWED_ATTRS:
+                    offenders.append(
+                        f"{path}:{node.lineno} from random import {alias.name}"
+                    )
+    return offenders
+
+
+def test_no_module_uses_global_random_state():
+    offenders = []
+    for path in _repro_sources():
+        offenders.extend(_global_random_uses(path))
+    assert offenders == [], "global random state used:\n" + "\n".join(offenders)
+
+
+def test_scenario_run_leaves_global_random_untouched():
+    from repro.analysis.scenario import run_traced_scenario
+
+    random.seed(12345)
+    before = random.getstate()
+    run_traced_scenario("cve-2018-5092", "legacy-chrome", seed=0)
+    assert random.getstate() == before

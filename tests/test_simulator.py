@@ -86,6 +86,57 @@ def test_runaway_backstop():
         sim.run(max_events=100)
 
 
+def _respawning_sim(label="spin"):
+    sim = Simulator()
+
+    def respawn():
+        sim.schedule(sim.now + 1, respawn, label=label)
+
+    sim.schedule(0, respawn, label=label)
+    return sim
+
+
+def test_backstop_error_includes_recent_labels():
+    sim = _respawning_sim(label="hot-loop")
+    with pytest.raises(SimulationError) as info:
+        sim.run(max_events=50)
+    assert "hot-loop" in str(info.value)
+    assert "last dispatched" in str(info.value)
+
+
+def test_backstop_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_MAX_EVENTS", "25")
+    sim = _respawning_sim()
+    with pytest.raises(SimulationError) as info:
+        sim.run()
+    assert "25 events" in str(info.value)
+
+
+def test_backstop_env_applies_to_run_until(monkeypatch):
+    monkeypatch.setenv("REPRO_MAX_EVENTS", "25")
+    sim = _respawning_sim()
+    with pytest.raises(SimulationError):
+        sim.run_until(lambda: False)
+
+
+def test_backstop_env_invalid_values(monkeypatch):
+    sim = _respawning_sim()
+    monkeypatch.setenv("REPRO_MAX_EVENTS", "not-a-number")
+    with pytest.raises(SimulationError):
+        sim.run()
+    monkeypatch.setenv("REPRO_MAX_EVENTS", "0")
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_backstop_parameter_beats_env(monkeypatch):
+    monkeypatch.setenv("REPRO_MAX_EVENTS", "1000000")
+    sim = _respawning_sim()
+    with pytest.raises(SimulationError) as info:
+        sim.run(max_events=10)
+    assert "10 events" in str(info.value)
+
+
 def test_frames_report_local_time():
     sim = Simulator()
     seen = {}
