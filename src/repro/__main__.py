@@ -12,6 +12,17 @@ Commands:
   Times the same Table I cells serially and sharded over N workers,
   asserts the results are identical, exercises the warm-cache path, and
   writes a ``BENCH_matrix.json`` wall-clock baseline artifact.
+* ``bench core``           — discrete-event hot-path microbenchmarks::
+
+      python -m repro bench core [--out FILE] [--scale F | --quick]
+                                 [--repeats N] [--only NAME,NAME,...]
+                                 [--check BASELINE]
+
+  Seeded events/sec microbenchmarks (raw dispatch, timer storms, worker
+  ping-pong, kernel scheduling, traced-vs-untraced overhead) written to
+  ``BENCH_core.json``.  ``--check`` compares against a committed
+  baseline and exits non-zero on a >20% normalised events/sec drop
+  (see ``benchmarks/baselines/``).
 * ``dromaeo``              — JSKernel Dromaeo overhead report
 * ``compat``               — API-compat counts + DOM similarity (small)
 * ``attacks``              — list every attack row
@@ -44,6 +55,11 @@ Commands:
 Any command also accepts ``--metrics``: the run is captured under a
 tracer and a metrics summary (task counts, queueing-delay and kernel
 latency histograms) is printed afterwards.
+
+Any command also accepts ``--profile``: the run executes under
+``cProfile``, a ``PROFILE_<command>.pstats`` dump is written for
+offline digging, and the top 20 functions by cumulative time are
+printed.
 
 The experiment commands (``matrix``, ``table2``, ``figure2``, ``bench``,
 ``fuzz``) additionally accept the parallel-engine flags:
@@ -144,6 +160,63 @@ BENCH_ATTACKS = ["cache-attack", "clock-edge", "loopscan", "svg-filtering", "cve
 BENCH_DEFENSES = ["legacy-chrome", "fuzzyfox", "deterfox", "tor", "chromezero", "jskernel"]
 
 
+BENCH_CORE_USAGE = (
+    "usage: python -m repro bench core [--out FILE] [--scale F | --quick] "
+    "[--repeats N] [--only NAME,NAME,...] [--check BASELINE]"
+)
+
+
+def _cmd_bench_core(args) -> None:
+    """Hot-path microbenchmarks; writes BENCH_core.json."""
+    from .harness.bench_core import (
+        DEFAULT_REPEATS,
+        check_regression,
+        format_report,
+        run_bench_core,
+    )
+
+    out = _flag_value(args, "--out", "BENCH_core.json")
+    scale_arg = _flag_value(args, "--scale", "1.0")
+    repeats_arg = _flag_value(args, "--repeats", str(DEFAULT_REPEATS))
+    only_arg = _flag_value(args, "--only", "")
+    baseline_path = _flag_value(args, "--check", "")
+    quick = "--quick" in args
+    if quick:
+        args.remove("--quick")
+    if args:
+        print(BENCH_CORE_USAGE)
+        raise SystemExit(2)
+    try:
+        scale = 0.1 if quick else float(scale_arg)
+        repeats = int(repeats_arg)
+    except ValueError:
+        _die(f"--scale/--repeats take numbers, got {scale_arg!r} / {repeats_arg!r}")
+    only = [name for name in only_arg.split(",") if name] or None
+
+    try:
+        report = run_bench_core(scale=scale, repeats=repeats, only=only)
+    except ValueError as exc:
+        _die(str(exc))
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(format_report(report))
+    print(f"\nwrote {out}")
+
+    if baseline_path:
+        try:
+            with open(baseline_path, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as exc:
+            _die(f"cannot load baseline {baseline_path!r}: {exc}")
+        failures = check_regression(report, baseline)
+        if failures:
+            for line in failures:
+                print(f"regression: {line}", file=sys.stderr)
+            raise SystemExit(1)
+        print(f"no regression vs {baseline_path} (tolerance 20%)")
+
+
 def _cmd_bench(args) -> None:
     """Serial vs parallel Table I baseline; writes BENCH_matrix.json."""
     import tempfile
@@ -152,6 +225,9 @@ def _cmd_bench(args) -> None:
     from .harness import ResultCache
 
     args = list(args)
+    if args and args[0] == "core":
+        _cmd_bench_core(args[1:])
+        return
     out = _flag_value(args, "--out", "BENCH_matrix.json")
     workers_arg = _flag_value(args, "--parallel", "2")
     try:
@@ -542,21 +618,47 @@ COMMANDS = {
 }
 
 
+def _run_profiled(command: str, fn, rest) -> None:
+    """Run one subcommand under cProfile: pstats dump + top-20 table."""
+    import cProfile
+    import pstats
+
+    dump = f"PROFILE_{command}.pstats"
+    profiler = cProfile.Profile()
+    try:
+        profiler.runcall(fn, rest)
+    finally:
+        profiler.dump_stats(dump)
+        print(f"\nwrote {dump} (inspect with: python -m pstats {dump})")
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(20)
+
+
 def main(argv=None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     if not args or args[0] in ("-h", "--help") or args[0] not in COMMANDS:
         print(__doc__)
         return 0 if args and args[0] in ("-h", "--help") else 1
     command, rest = args[0], args[1:]
+    profile = "--profile" in rest
+    if profile:
+        rest.remove("--profile")
+    run = COMMANDS[command]
     if command != "trace" and "--metrics" in rest:
         rest.remove("--metrics")
         tracer = Tracer()
-        with capture(tracer):
-            COMMANDS[command](rest)
+        if profile:
+            with capture(tracer):
+                _run_profiled(command, run, rest)
+        else:
+            with capture(tracer):
+                run(rest)
         print()
         print(tracer.metrics.format())
+    elif profile:
+        _run_profiled(command, run, rest)
     else:
-        COMMANDS[command](rest)
+        run(rest)
     return 0
 
 

@@ -1,0 +1,150 @@
+"""Frozen pre-fast-path implementations for in-run speedup measurement.
+
+``python -m repro bench core`` must report speedups "measured on the same
+machine in the same run" — a number that stays meaningful when the
+committed baseline file was produced on different hardware.  This module
+freezes the *seed* hot paths (single-heap ready queues, per-call label
+allocation, O(n) pending scans) as subclasses of the live classes:
+
+* :class:`ReferenceSimulator` — the seed ``schedule``/``step``/``run``
+  loop, verbatim;
+* :class:`ReferenceEventLoop` — the seed single-heap macrotask queue and
+  per-``_arm`` wake-label allocation.
+
+The benchmark suite runs each workload against both the live classes and
+these references and reports the ratio.  The CI regression check also
+uses the reference throughput as a machine-speed calibration constant.
+
+Do NOT "optimise" this module: its entire value is staying identical to
+commit ``c7940fd``'s hot paths.  Behaviour (dispatch order, virtual
+timestamps) matches the live classes exactly — only the constant factors
+differ — so any workload may be pointed at either implementation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from ..runtime.eventloop import EventLoop
+from ..runtime.simulator import (
+    ScheduledCall,
+    SimulationError,
+    Simulator,
+    default_max_events,
+)
+from ..runtime.task import Task
+
+
+class ReferenceSimulator(Simulator):
+    """Seed dispatch core: one heap, no FIFO lane, no bound locals."""
+
+    def schedule(self, at, fn, label=""):
+        if at < self._time:
+            raise SimulationError(
+                f"cannot schedule at {at} before dispatch time {self._time}"
+            )
+        if self.perturber is not None:
+            at = max(self.perturber.perturb(self, at, label), at)
+        self._seq += 1
+        # sim backref deliberately omitted: the seed kept no live count,
+        # and pending_events below re-scans the heap the way the seed did
+        call = ScheduledCall(at, self._seq, fn, label)
+        heapq.heappush(self._heap, (at, call.seq, call))
+        return call
+
+    def step(self) -> bool:
+        while self._heap:
+            time, _seq, call = heapq.heappop(self._heap)
+            if call.cancelled:
+                continue
+            self._time = time
+            self.events_processed += 1
+            self._dispatch_label = call.label or "call"
+            self._dispatch_ordinal = self.events_processed
+            self._recent_labels.append(self._dispatch_label)
+            if self.perturber is not None:
+                self.perturber.on_dispatch(self._dispatch_label)
+            call.fn()
+            return True
+        return False
+
+    def run(self, until=None, max_events=None) -> None:
+        limit = default_max_events() if max_events is None else max_events
+        processed = 0
+        while self._heap:
+            time = self._heap[0][0]
+            if until is not None and time > until:
+                self._time = until
+                return
+            if not self.step():
+                return
+            processed += 1
+            if processed > limit:
+                raise SimulationError(
+                    f"simulation exceeded {limit} events (runaway loop?); "
+                    f"last dispatched: {self.recent_dispatch_context()}"
+                )
+        if until is not None and until > self._time:
+            self._time = until
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for _t, _s, c in self._heap if not c.cancelled)
+
+
+class ReferenceEventLoop(EventLoop):
+    """Seed macrotask queue: one heap, wake label rebuilt per arm."""
+
+    def post_task(self, task: Task) -> Task:
+        if self.stopped:
+            return task
+        task.enqueue_time = self.sim.now
+        perturber = self.sim.perturber
+        if perturber is not None:
+            task.ready_time = max(
+                perturber.perturb(self.sim, task.ready_time, task.label or task.source.value),
+                task.ready_time,
+            )
+        if task.ready_time < self.sim.dispatch_time:
+            task.ready_time = self.sim.dispatch_time
+        heapq.heappush(self._queue, (task.ready_time, task.id, task))
+        self._arm()
+        return task
+
+    def _next_task_time(self) -> Optional[int]:
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        ready = self._queue[0][0]
+        return max(ready, self.busy_until, self.sim.dispatch_time)
+
+    def _arm(self) -> None:
+        if self.stopped or self._in_task:
+            return
+        run_at = self._next_task_time()
+        if run_at is None:
+            return
+        if self._wakeup is not None and not self._wakeup.cancelled:
+            if self._wakeup.time <= run_at:
+                return
+            self._wakeup.cancel()
+        self._wakeup = self.sim.schedule(run_at, self._wake, label=f"{self.name}:wake")
+
+    def _wake(self) -> None:
+        self._wakeup = None
+        if self.stopped:
+            return
+        run_at = self._next_task_time()
+        if run_at is None:
+            return
+        if run_at > self.sim.dispatch_time:
+            self._arm()
+            return
+        _ready, _id, task = heapq.heappop(self._queue)
+        if task.cancelled:
+            self._arm()
+            return
+        self._run_task(task)
+        self._arm()

@@ -47,6 +47,14 @@ class Dispatcher:
         #: repro.explore.oracles).
         self._last_predicted: Optional[int] = None
         self.order_violations = 0
+        # per-kind label caches: kick() runs on every register/confirm and
+        # must not build an f-string per call on the untraced path
+        self._kick_labels: dict = {}
+        self._span_names: dict = {}
+        # cached metric handles, rebound when the capture's tracer changes
+        self._mh_tracer = None
+        self._mh_dispatched: dict = {}
+        self._mh_latency_hist = None
 
     # ------------------------------------------------------------------
     def kick(self) -> None:
@@ -60,11 +68,15 @@ class Dispatcher:
         now = self.loop.sim.now
         delay = max(allowed_real - now, 0)
         self._dispatch_scheduled = True
+        kind = head.kind
+        label = self._kick_labels.get(kind)
+        if label is None:
+            label = self._kick_labels[kind] = f"kdispatch:{kind}"
         self.loop.post(
             self._dispatch_head,
             delay=delay,
             source=TaskSource.KERNEL,
-            label=f"kdispatch:{head.kind}",
+            label=label,
         )
 
     def _next_actionable(self) -> Optional[KernelEvent]:
@@ -140,13 +152,17 @@ class Dispatcher:
         tracer = sim.tracer
         if tracer.enabled:
             now = sim.now
+            kind = event.kind
             dispatch_latency = now - (event.confirm_time or event.reg_time)
             if event.trace_span:
+                name = self._span_names.get(kind)
+                if name is None:
+                    name = self._span_names[kind] = f"kevent:{kind}"
                 tracer.async_event(
                     "e",
                     sim.trace_pid,
                     self.kspace.scheduler.trace_row,
-                    f"kevent:{event.kind}",
+                    name,
                     event.trace_span,
                     now,
                     cat="kernel-event",
@@ -157,10 +173,20 @@ class Dispatcher:
                         "ctx": sim.trace_context,
                     },
                 )
-            tracer.metrics.counter(f"kernel.dispatched.{event.kind}").inc()
-            tracer.metrics.histogram(
-                f"kernel.dispatch_latency_ns.{self.kspace.label}", LATENCY_BUCKETS_NS
-            ).record(dispatch_latency)
+            if tracer is not self._mh_tracer:
+                self._mh_tracer = tracer
+                self._mh_dispatched = {}
+                self._mh_latency_hist = tracer.metrics.histogram(
+                    f"kernel.dispatch_latency_ns.{self.kspace.label}",
+                    LATENCY_BUCKETS_NS,
+                )
+            counter = self._mh_dispatched.get(kind)
+            if counter is None:
+                counter = self._mh_dispatched[kind] = tracer.metrics.counter(
+                    f"kernel.dispatched.{kind}"
+                )
+            counter.inc()
+            self._mh_latency_hist.record(dispatch_latency)
         if event.on_dispatch is not None:
             event.on_dispatch(event)
             return

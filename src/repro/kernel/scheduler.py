@@ -53,6 +53,31 @@ class Scheduler:
         self.cancelled_count = 0
         #: Trace thread row shared by this kspace's scheduler + dispatcher.
         self.trace_row = f"kernel:{kspace.label}"
+        # per-kind "kevent:<kind>" name cache for the traced path
+        self._span_names: Dict[str, str] = {}
+        # cached metric handles, rebound when the capture's tracer changes
+        self._mh_tracer = None
+        self._mh_registered: Dict[str, Any] = {}
+        self._mh_cancelled: Dict[str, Any] = {}
+        self._mh_confirmed = None
+        self._mh_confirm_hist = None
+
+    def _span_name(self, kind: str) -> str:
+        name = self._span_names.get(kind)
+        if name is None:
+            name = self._span_names[kind] = f"kevent:{kind}"
+        return name
+
+    def _bind_metrics(self, tracer) -> None:
+        """(Re)bind cached metric handles to ``tracer``'s registry."""
+        self._mh_tracer = tracer
+        self._mh_registered = {}
+        self._mh_cancelled = {}
+        metrics = tracer.metrics
+        self._mh_confirmed = metrics.counter("kernel.confirmed")
+        self._mh_confirm_hist = metrics.histogram(
+            f"kernel.confirm_latency_ns.{self.kspace.label}", LATENCY_BUCKETS_NS
+        )
 
     # ------------------------------------------------------------------
     # registration stage
@@ -110,7 +135,7 @@ class Scheduler:
                 "b",
                 sim.trace_pid,
                 self.trace_row,
-                f"kevent:{kind}",
+                self._span_name(kind),
                 event.trace_span,
                 event.reg_time,
                 cat="kernel-event",
@@ -120,7 +145,14 @@ class Scheduler:
                     "ctx": sim.trace_context,
                 },
             )
-            tracer.metrics.counter(f"kernel.registered.{kind}").inc()
+            if tracer is not self._mh_tracer:
+                self._bind_metrics(tracer)
+            counter = self._mh_registered.get(kind)
+            if counter is None:
+                counter = self._mh_registered[kind] = tracer.metrics.counter(
+                    f"kernel.registered.{kind}"
+                )
+            counter.inc()
         return event
 
     def _default_predict(self, kind: str, hint: Optional[int]) -> int:
@@ -190,7 +222,7 @@ class Scheduler:
                     "n",
                     sim.trace_pid,
                     self.trace_row,
-                    f"kevent:{event.kind}",
+                    self._span_name(event.kind),
                     event.trace_span,
                     event.confirm_time,
                     cat="kernel-event",
@@ -200,10 +232,10 @@ class Scheduler:
                         "ctx": sim.trace_context,
                     },
                 )
-            tracer.metrics.counter("kernel.confirmed").inc()
-            tracer.metrics.histogram(
-                f"kernel.confirm_latency_ns.{self.kspace.label}", LATENCY_BUCKETS_NS
-            ).record(latency)
+            if tracer is not self._mh_tracer:
+                self._bind_metrics(tracer)
+            self._mh_confirmed.inc()
+            self._mh_confirm_hist.record(latency)
         self.kspace.dispatcher.kick()
 
     def register_confirmed(
@@ -253,13 +285,20 @@ class Scheduler:
                 "e",
                 sim.trace_pid,
                 self.trace_row,
-                f"kevent:{event.kind}",
+                self._span_name(event.kind),
                 event.trace_span,
                 sim.now,
                 cat="kernel-event",
                 args={"cancelled": case, "ctx": sim.trace_context},
             )
-        tracer.metrics.counter(f"kernel.cancelled.{case}").inc()
+        if tracer is not self._mh_tracer:
+            self._bind_metrics(tracer)
+        counter = self._mh_cancelled.get(case)
+        if counter is None:
+            counter = self._mh_cancelled[case] = tracer.metrics.counter(
+                f"kernel.cancelled.{case}"
+            )
+        counter.inc()
 
     def lookup(self, event_id: int) -> Optional[KernelEvent]:
         """Find an event by id (policy handlers use this)."""

@@ -16,6 +16,17 @@ microtasks in the same frame, and finally marks the thread busy until the
 frame's local end time.  A task whose ready time falls inside another task's
 busy window is dispatched when the thread frees up — exactly the queueing
 behaviour implicit clocks measure.
+
+Hot path
+--------
+
+The macrotask queue is dual-lane like the simulator's ready queue: tasks
+posted in non-decreasing ``(ready_time, id)`` order ride a FIFO deque,
+out-of-order posts go to a heap, and the pop takes the minimum across both
+— the same total order as a single heap at a fraction of the cost for the
+common in-order workload.  The dispatch path binds its hot attributes to
+locals, builds no strings when the tracer is disabled, and reuses cached
+metric handles when it is enabled (see DESIGN.md §12).
 """
 
 from __future__ import annotations
@@ -28,6 +39,23 @@ from ..errors import SimulationError
 from ..trace import QUEUE_DELAY_BUCKETS_NS
 from .simulator import ExecutionFrame, ScheduledCall, Simulator
 from .task import Microtask, Task, TaskRecord, TaskSource
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: Same-time tasks one wake dispatch may run inline before falling back to
+#: a scheduled wake.  The fallback keeps the simulator's ``max_events``
+#: backstop effective against runaway same-time task chains while costing
+#: one queue round-trip per batch.
+_INLINE_BATCH_LIMIT = 100
+
+#: Heap-lane size beyond which a wake converts it to the FIFO lane with
+#: one sorted pass (see EventLoop._flush_heap_lane).
+_HEAP_FLUSH_THRESHOLD = 32
+
+
+def _task_order(task: "Task") -> "Tuple[int, int]":
+    return (task.ready_time, task.id)
 
 
 class EventLoop:
@@ -43,7 +71,10 @@ class EventLoop:
         self.sim = sim
         self.name = name
         self.task_dispatch_cost = task_dispatch_cost
+        # dual-lane macrotask queue: in-order posts ride the FIFO deque,
+        # out-of-order posts go to the heap (see module docstring)
         self._queue: List[Tuple[int, int, Task]] = []
+        self._tfifo: Deque[Task] = deque()
         # deque: the checkpoint pops from the left, and list.pop(0) is
         # O(n) — quadratic over a promise-heavy task's microtask chain
         self._microtasks: Deque[Microtask] = deque()
@@ -56,6 +87,15 @@ class EventLoop:
         self.trace: List[TaskRecord] = []
         #: Observers called as fn(task, start, end) after each dispatch.
         self.task_observers: List[Callable[[Task, int, int], None]] = []
+        # the wakeup label is per-loop constant: building it per _arm()
+        # would allocate a string for every posted task
+        self._wake_label = f"{name}:wake"
+        # cached metric handles, rebound when the capture's tracer changes
+        # (Tracer.attach can swap sim.tracer after construction)
+        self._mh_tracer = None
+        self._mh_task_counters: dict = {}
+        self._mh_delay_hist = None
+        self._mh_micro_counter = None
 
     # ------------------------------------------------------------------
     # posting work
@@ -74,9 +114,20 @@ class EventLoop:
                 perturber.perturb(self.sim, task.ready_time, task.label or task.source.value),
                 task.ready_time,
             )
-        if task.ready_time < self.sim.dispatch_time:
-            task.ready_time = self.sim.dispatch_time
-        heapq.heappush(self._queue, (task.ready_time, task.id, task))
+        ready = task.ready_time
+        if ready < self.sim.dispatch_time:
+            ready = task.ready_time = self.sim.dispatch_time
+        fifo = self._tfifo
+        if not fifo:
+            fifo.append(task)
+        else:
+            tail = fifo[-1]
+            # ids are not guaranteed monotone for pre-built tasks, so the
+            # in-order test compares the full (ready_time, id) key
+            if ready > tail.ready_time or (ready == tail.ready_time and task.id > tail.id):
+                fifo.append(task)
+            else:
+                _heappush(self._queue, (ready, task.id, task))
         self._arm()
         return task
 
@@ -125,6 +176,7 @@ class EventLoop:
         """Terminate the loop: drop all queued work, refuse new work."""
         self.stopped = True
         self._queue.clear()
+        self._tfifo.clear()
         self._microtasks.clear()
         if self._wakeup is not None:
             self._wakeup.cancel()
@@ -133,7 +185,8 @@ class EventLoop:
     @property
     def pending_tasks(self) -> int:
         """Number of queued, non-cancelled macrotasks."""
-        return sum(1 for _r, _i, t in self._queue if not t.cancelled)
+        live = sum(1 for _r, _i, t in self._queue if not t.cancelled)
+        return live + sum(1 for t in self._tfifo if not t.cancelled)
 
     @property
     def idle(self) -> bool:
@@ -143,13 +196,45 @@ class EventLoop:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _peek_task(self) -> Optional[Task]:
+        """Earliest live queued task, pruning cancelled heads (not popped)."""
+        heap = self._queue
+        fifo = self._tfifo
+        while heap and heap[0][2].cancelled:
+            _heappop(heap)
+        while fifo and fifo[0].cancelled:
+            fifo.popleft()
+        if fifo:
+            task = fifo[0]
+            if heap:
+                head = heap[0]
+                ht = head[0]
+                if ht < task.ready_time or (ht == task.ready_time and head[1] < task.id):
+                    return head[2]
+            return task
+        if heap:
+            return heap[0][2]
+        return None
+
+    def _pop_task(self, task: Task) -> None:
+        """Remove ``task`` — always the current :meth:`_peek_task` result —
+        from whichever lane holds it."""
+        fifo = self._tfifo
+        if fifo and fifo[0] is task:
+            fifo.popleft()
+        else:
+            _heappop(self._queue)
+
     def _next_task_time(self) -> Optional[int]:
-        while self._queue and self._queue[0][2].cancelled:
-            heapq.heappop(self._queue)
-        if not self._queue:
+        task = self._peek_task()
+        if task is None:
             return None
-        ready = self._queue[0][0]
-        return max(ready, self.busy_until, self.sim.dispatch_time)
+        ready = task.ready_time
+        busy = self.busy_until
+        if ready < busy:
+            ready = busy
+        dispatch = self.sim.dispatch_time
+        return ready if ready >= dispatch else dispatch
 
     def _arm(self) -> None:
         """(Re)schedule the simulator wakeup for the next runnable task."""
@@ -158,73 +243,199 @@ class EventLoop:
         run_at = self._next_task_time()
         if run_at is None:
             return
-        if self._wakeup is not None and not self._wakeup.cancelled:
-            if self._wakeup.time <= run_at:
+        wakeup = self._wakeup
+        if wakeup is not None and not wakeup.cancelled:
+            if wakeup.time <= run_at:
                 return
-            self._wakeup.cancel()
-        self._wakeup = self.sim.schedule(run_at, self._wake, label=f"{self.name}:wake")
+            wakeup.cancel()
+        self._wakeup = self.sim.schedule(run_at, self._wake, label=self._wake_label)
+
+    def _flush_heap_lane(self) -> None:
+        """Drain a bulky heap lane into the FIFO lane in one sorted pass.
+
+        A burst of out-of-order posts (30k timers set upfront, say) lands
+        in the heap, and popping them back costs O(log n) Python-level
+        tuple comparisons each.  One ``sorted()`` over tasks from both
+        lanes is a single C-speed pass and leaves every subsequent pop
+        O(1).  The key is the same ``(ready_time, id)`` the heap orders
+        by, so the total order is unchanged.
+        """
+        heap = self._queue
+        fifo = self._tfifo
+        tasks = [entry[2] for entry in heap]
+        heap.clear()
+        tasks.extend(fifo)
+        fifo.clear()
+        tasks.sort(key=_task_order)
+        fifo.extend(tasks)
 
     def _wake(self) -> None:
         self._wakeup = None
         if self.stopped:
             return
-        run_at = self._next_task_time()
-        if run_at is None:
+        if len(self._queue) > _HEAP_FLUSH_THRESHOLD:
+            self._flush_heap_lane()
+        sim = self.sim
+        task = self._peek_task()
+        if task is None:
             return
-        if run_at > self.sim.dispatch_time:
+        run_at = task.ready_time
+        busy = self.busy_until
+        if run_at < busy:
+            run_at = busy
+        if run_at > sim._time:
             self._arm()
             return
-        _ready, _id, task = heapq.heappop(self._queue)
-        if task.cancelled:
-            self._arm()
-            return
+        self._pop_task(task)
         self._run_task(task)
-        self._arm()
+        # Inline continuation: when the *next* task would be woken at
+        # exactly the current dispatch time and no other simulator event
+        # is queued at (or before) that time, nothing can interleave — the
+        # wake the seed would schedule is provably the very next dispatch.
+        # Run the task here instead, replicating the wake's bookkeeping
+        # (events_processed, dispatch label/ordinal, recent labels) so
+        # every downstream observable — trace ordinals included — matches
+        # the schedule-a-wake path bit for bit.  Timer storms, where
+        # hundreds of timers share one millisecond slot, collapse from one
+        # full queue round-trip per task to one per slot.
+        budget = _INLINE_BATCH_LIMIT
+        run = self._run_task
+        wake_label = self._wake_label
+        recent_append = sim._recent_labels.append
+        heap = self._queue
+        fifo = self._tfifo
+        sheap = sim._heap
+        sfifo = sim._fifo
+        heappop = _heappop
+        while not self.stopped:
+            # earliest live queued task (_peek_task, inlined)
+            while heap and heap[0][2].cancelled:
+                heappop(heap)
+            while fifo and fifo[0].cancelled:
+                fifo.popleft()
+            use_fifo = False
+            if fifo:
+                task = fifo[0]
+                use_fifo = True
+                if heap:
+                    head = heap[0]
+                    ht = head[0]
+                    if ht < task.ready_time or (
+                        ht == task.ready_time and head[1] < task.id
+                    ):
+                        task = head[2]
+                        use_fifo = False
+            elif heap:
+                task = heap[0][2]
+            else:
+                return
+            run_at = task.ready_time
+            busy = self.busy_until
+            if run_at < busy:
+                run_at = busy
+            dispatch = sim._time
+            if run_at > dispatch or not sim._inline_wake_ok or budget <= 0:
+                self._arm()
+                return
+            # no other simulator event may exist at (or before) the current
+            # time (Simulator._peek_time, inlined; cancelled entries count,
+            # conservatively)
+            if sfifo:
+                nt = sfifo[0].time
+                if sheap and sheap[0][0] < nt:
+                    nt = sheap[0][0]
+                if nt <= dispatch:
+                    self._arm()
+                    return
+            elif sheap and sheap[0][0] <= dispatch:
+                self._arm()
+                return
+            budget -= 1
+            n = sim.events_processed + 1
+            sim.events_processed = n
+            sim._dispatch_label = wake_label
+            sim._dispatch_ordinal = n
+            recent_append(wake_label)
+            if use_fifo:
+                fifo.popleft()
+            else:
+                heappop(heap)
+            run(task)
+
+    def _bind_metrics(self, tracer) -> None:
+        """(Re)bind cached metric handles to ``tracer``'s registry."""
+        self._mh_tracer = tracer
+        self._mh_task_counters = {}
+        metrics = tracer.metrics
+        self._mh_delay_hist = metrics.histogram(
+            f"eventloop.queue_delay_ns.{self.name}", QUEUE_DELAY_BUCKETS_NS
+        )
+        self._mh_micro_counter = metrics.counter(f"eventloop.microtasks.{self.name}")
 
     def _run_task(self, task: Task) -> None:
-        start = max(self.sim.dispatch_time, self.busy_until, task.ready_time)
+        sim = self.sim
+        dispatch_time = sim._time
+        busy = self.busy_until
+        start = dispatch_time if dispatch_time > busy else busy
+        if task.ready_time > start:
+            start = task.ready_time
         frame = ExecutionFrame(start, self.name)
-        self.sim.push_frame(frame)
+        frames = sim._frames
+        frames.append(frame)
         self._in_task = True
         try:
             frame.consume(self.task_dispatch_cost + task.cost)
             task.callback(*task.args)
-            self._drain_microtasks(frame)
+            if self._microtasks:
+                self._drain_microtasks(frame)
         finally:
             self._in_task = False
-            self.sim.pop_frame()
-        end = frame.local_now
-        self.busy_until = max(self.busy_until, end)
+            frames.pop()
+        end = frame.start + frame.elapsed
+        if end > self.busy_until:
+            self.busy_until = end
         self.tasks_run += 1
         if self.record_trace:
             self.trace.append(TaskRecord(task.id, task.label, task.source, start, end))
-        tracer = self.sim.tracer
+        tracer = sim.tracer
         if tracer.enabled:
-            queue_delay = max(start - task.ready_time, 0)
+            queue_delay = start - task.ready_time
+            if queue_delay < 0:
+                queue_delay = 0
+            source = task.source
             tracer.complete(
-                self.sim.trace_pid,
+                sim.trace_pid,
                 self.name,
                 task.label,
                 start,
                 end,
                 cat="task",
-                args={"source": task.source.value, "queue_delay_ns": queue_delay},
+                args={"source": source.value, "queue_delay_ns": queue_delay},
             )
-            metrics = tracer.metrics
-            metrics.counter(f"eventloop.tasks.{task.source.value}").inc()
-            metrics.histogram(
-                f"eventloop.queue_delay_ns.{self.name}", QUEUE_DELAY_BUCKETS_NS
-            ).record(queue_delay)
-        for observer in list(self.task_observers):
-            observer(task, start, end)
+            if tracer is not self._mh_tracer:
+                self._bind_metrics(tracer)
+            counter = self._mh_task_counters.get(source)
+            if counter is None:
+                counter = self._mh_task_counters[source] = tracer.metrics.counter(
+                    f"eventloop.tasks.{source.value}"
+                )
+            counter.inc()
+            self._mh_delay_hist.record(queue_delay)
+        observers = self.task_observers
+        if observers:
+            for observer in list(observers):
+                observer(task, start, end)
 
     def _drain_microtasks(self, frame: ExecutionFrame) -> None:
         """Run the microtask checkpoint (bounded to catch runaway chains)."""
         budget = 100_000
         drained = 0
-        while self._microtasks:
-            micro = self._microtasks.popleft()
-            frame.consume(micro.cost)
+        micros = self._microtasks
+        popleft = micros.popleft
+        consume = frame.consume
+        while micros:
+            micro = popleft()
+            consume(micro.cost)
             micro.callback(*micro.args)
             drained += 1
             budget -= 1
@@ -233,14 +444,17 @@ class EventLoop:
                     f"microtask checkpoint on {self.name!r} exceeded 100000 "
                     "microtasks (runaway promise chain?)"
                 )
-        tracer = self.sim.tracer
-        if drained and tracer.enabled:
-            tracer.instant(
-                self.sim.trace_pid,
-                self.name,
-                "microtask-checkpoint",
-                frame.local_now,
-                cat="task",
-                args={"count": drained},
-            )
-            tracer.metrics.counter(f"eventloop.microtasks.{self.name}").inc(drained)
+        if drained:
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    self.sim.trace_pid,
+                    self.name,
+                    "microtask-checkpoint",
+                    frame.local_now,
+                    cat="task",
+                    args={"count": drained},
+                )
+                if tracer is not self._mh_tracer:
+                    self._bind_metrics(tracer)
+                self._mh_micro_counter.inc(drained)

@@ -83,12 +83,16 @@ class MessageEndpoint:
         self.handlers: List[Callable[[MessageEvent], None]] = []
         self.closed = False
         self.messages_delivered = 0
+        # per-channel constant: posting must not build a label per message
+        self._post_label = ""
 
     # ------------------------------------------------------------------
     def connect(self, peer: "MessageEndpoint") -> None:
         """Pair this endpoint with ``peer`` (both directions)."""
         self.peer = peer
         peer.peer = self
+        self._post_label = f"message->{peer.name}"
+        peer._post_label = f"message->{self.name}"
 
     def post(self, data: Any, transfer: Optional[List[Any]] = None, origin: str = "") -> None:
         """Send ``data`` to the peer endpoint.
@@ -141,7 +145,7 @@ class MessageEndpoint:
             event,
             delay=self.latency_ns,
             source=TaskSource.MESSAGE,
-            label=f"message->{peer.name}",
+            label=self._post_label,
         )
 
     def deliver(self, event: MessageEvent) -> None:

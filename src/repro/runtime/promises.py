@@ -30,12 +30,17 @@ class SimPromise:
     the loop, in registration order, after the task that settled the promise.
     """
 
+    __slots__ = ("loop", "label", "state", "value", "_reactions", "_reaction_label")
+
     def __init__(self, loop: EventLoop, label: str = "promise"):
         self.loop = loop
         self.label = label
         self.state = PENDING
         self.value: Any = None
         self._reactions: List[Tuple[Optional[Callable], Optional[Callable], "SimPromise"]] = []
+        # built lazily: promise-heavy workloads flush many reactions and
+        # must not pay an f-string per microtask
+        self._reaction_label = ""
 
     # ------------------------------------------------------------------
     # settling
@@ -107,14 +112,16 @@ class SimPromise:
                     cat="promise",
                     args={"promise": self.label, "state": self.state, "flow": flow},
                 )
+        label = self._reaction_label
+        if not label:
+            label = self._reaction_label = f"{self.label}:reaction"
+        post_microtask = self.loop.post_microtask
         for on_fulfilled, on_rejected, child in reactions:
             if flow:
                 fn, args = self._run_traced_reaction, (flow, on_fulfilled, on_rejected, child)
             else:
                 fn, args = self._run_reaction, (on_fulfilled, on_rejected, child)
-            self.loop.post_microtask(
-                Microtask(fn, args, cost=REACTION_COST, label=f"{self.label}:reaction")
-            )
+            post_microtask(Microtask(fn, args, cost=REACTION_COST, label=label))
 
     def _run_traced_reaction(
         self,

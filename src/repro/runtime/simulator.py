@@ -27,7 +27,6 @@ tasks sequentially.
 from __future__ import annotations
 
 import heapq
-import itertools
 import os
 from collections import deque
 from contextlib import contextmanager
@@ -35,6 +34,13 @@ from typing import Callable, List, Optional, Tuple
 
 from ..errors import DeadlockError, SimulationError
 from ..trace import current_tracer
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: Sentinel upper bound for ``run(until=None)``: one comparison against
+#: +inf per dispatch is cheaper than re-testing ``until is not None``.
+_NO_BOUND = float("inf")
 
 #: Environment variable overriding the default runaway-loop backstop.
 MAX_EVENTS_ENV = "REPRO_MAX_EVENTS"
@@ -99,20 +105,40 @@ def perturbation(perturber):
 
 
 class ScheduledCall:
-    """Handle for a scheduled callback; supports cancellation."""
+    """Handle for a scheduled callback; supports cancellation.
 
-    __slots__ = ("time", "seq", "fn", "cancelled", "label")
+    ``sim`` back-references the owning simulator while the call sits in
+    its ready queue — cancellation decrements the simulator's live-event
+    count in O(1) — and is cleared on dispatch so a late ``cancel()``
+    cannot double-count.
+    """
 
-    def __init__(self, time: int, seq: int, fn: Callable[[], None], label: str):
+    __slots__ = ("time", "seq", "fn", "cancelled", "label", "sim")
+
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        fn: Callable[[], None],
+        label: str,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.cancelled = False
         self.label = label
+        self.sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self.sim
+        if sim is not None:
+            sim._live -= 1
+            self.sim = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
@@ -155,8 +181,18 @@ class Simulator:
 
     def __init__(self):
         self._time = 0
+        # Dual-lane ready queue.  Discrete-event workloads schedule mostly
+        # in non-decreasing time order, so an in-order append goes to the
+        # FIFO lane (deque of ScheduledCall, O(1) push/pop) and only
+        # out-of-order schedules pay the heap's O(log n).  Dispatch takes
+        # the (time, seq) minimum across both lanes, so the total order is
+        # exactly the single-heap order.
         self._heap: List[Tuple[int, int, ScheduledCall]] = []
-        self._seq = itertools.count()
+        self._fifo: deque = deque()
+        self._seq = 0
+        #: Scheduled, non-cancelled events — maintained on schedule/
+        #: cancel/dispatch so ``pending_events`` is O(1).
+        self._live = 0
         self._frames: List[ExecutionFrame] = []
         self.events_processed = 0
         # per-run deterministic id streams for traced objects (DOM nodes,
@@ -178,6 +214,14 @@ class Simulator:
         #: Labels of the most recently dispatched events, newest last —
         #: context for runaway-loop errors.
         self._recent_labels: deque = deque(maxlen=RECENT_LABEL_WINDOW)
+        #: True only while :meth:`run` is draining (and no perturber is
+        #: installed).  Event loops may then dispatch a same-time follow-up
+        #: task inline instead of scheduling a wake, provided no other
+        #: simulator event could interleave — see EventLoop._wake.  Kept
+        #: False under step()/run_until(), where callers observe per-event
+        #: granularity (a predicate may become true between two same-time
+        #: events).
+        self._inline_wake_ok = False
 
     # ------------------------------------------------------------------
     # time
@@ -260,14 +304,24 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {at} before dispatch time {self._time}"
             )
-        if self.perturber is not None:
+        perturber = self.perturber
+        if perturber is not None:
             # exploration hook: perturbations may only *delay* events —
             # moving one earlier could violate causality (a message
             # delivered before it was sent), which would explore schedules
             # the real platform can never produce
-            at = max(self.perturber.perturb(self, at, label), at)
-        call = ScheduledCall(at, next(self._seq), fn, label)
-        heapq.heappush(self._heap, (at, call.seq, call))
+            at = max(perturber.perturb(self, at, label), at)
+        seq = self._seq + 1
+        self._seq = seq
+        call = ScheduledCall(at, seq, fn, label, self)
+        fifo = self._fifo
+        # seq strictly increases, so an equal-time append keeps the FIFO
+        # lane sorted by (time, seq)
+        if not fifo or at >= fifo[-1].time:
+            fifo.append(call)
+        else:
+            _heappush(self._heap, (at, seq, call))
+        self._live += 1
         return call
 
     def schedule_after(self, delay: int, fn: Callable[[], None], label: str = "") -> ScheduledCall:
@@ -277,25 +331,78 @@ class Simulator:
     # ------------------------------------------------------------------
     # running
     # ------------------------------------------------------------------
+    def _pop_next(self) -> Optional[ScheduledCall]:
+        """Pop the earliest live call across both lanes (``None`` if drained)."""
+        fifo = self._fifo
+        heap = self._heap
+        while True:
+            if fifo:
+                call = fifo[0]
+                if heap:
+                    head = heap[0]
+                    ht = head[0]
+                    ct = call.time
+                    if ht < ct or (ht == ct and head[1] < call.seq):
+                        call = _heappop(heap)[2]
+                    else:
+                        fifo.popleft()
+                else:
+                    fifo.popleft()
+            elif heap:
+                call = _heappop(heap)[2]
+            else:
+                return None
+            if not call.cancelled:
+                return call
+
+    def _peek_time(self) -> Optional[int]:
+        """Time of the earliest queued entry, cancelled entries included.
+
+        A conservative bound for the event loops' inline-wake check: a
+        cancelled head makes the loop take the normal schedule-a-wake
+        path, which is always correct, just slower.
+        """
+        fifo = self._fifo
+        heap = self._heap
+        if fifo:
+            t = fifo[0].time
+            if heap and heap[0][0] < t:
+                return heap[0][0]
+            return t
+        if heap:
+            return heap[0][0]
+        return None
+
+    def _dispatch(self, call: ScheduledCall) -> None:
+        """Shared (slow-path) dispatch used by :meth:`step` / :meth:`run_until`."""
+        self._time = call.time
+        self._live -= 1
+        call.sim = None
+        n = self.events_processed + 1
+        self.events_processed = n
+        label = call.label or "call"
+        self._dispatch_label = label
+        self._dispatch_ordinal = n
+        self._recent_labels.append(label)
+        if self.perturber is not None:
+            self.perturber.on_dispatch(label)
+        call.fn()
+
     def step(self) -> bool:
         """Dispatch the single earliest pending event.
 
         Returns ``False`` when no events remain.
         """
-        while self._heap:
-            time, _seq, call = heapq.heappop(self._heap)
-            if call.cancelled:
-                continue
-            self._time = time
-            self.events_processed += 1
-            self._dispatch_label = call.label or "call"
-            self._dispatch_ordinal = self.events_processed
-            self._recent_labels.append(self._dispatch_label)
-            if self.perturber is not None:
-                self.perturber.on_dispatch(self._dispatch_label)
-            call.fn()
-            return True
-        return False
+        call = self._pop_next()
+        if call is None:
+            return False
+        prev_inline = self._inline_wake_ok
+        self._inline_wake_ok = False  # single-step granularity is observable
+        try:
+            self._dispatch(call)
+        finally:
+            self._inline_wake_ok = prev_inline
+        return True
 
     def recent_dispatch_context(self) -> str:
         """The last ~20 dispatched labels, oldest first (error context)."""
@@ -312,20 +419,79 @@ class Simulator:
         task labels for context — rather than spinning forever.
         """
         limit = default_max_events() if max_events is None else max_events
-        processed = 0
-        while self._heap:
-            time = self._heap[0][0]
-            if until is not None and time > until:
-                self._time = until
-                return
-            if not self.step():
-                return
-            processed += 1
-            if processed > limit:
-                raise SimulationError(
-                    f"simulation exceeded {limit} events (runaway loop?); "
-                    f"last dispatched: {self.recent_dispatch_context()}"
-                )
+        bound = _NO_BOUND if until is None else until
+        # Hot loop: everything reachable per dispatch is bound to a local
+        # once, the lane selection is inlined (no step() call per event),
+        # and with the tracer disabled a dispatch allocates nothing — the
+        # popped call and its queue entry were allocated at schedule time.
+        heap = self._heap
+        fifo = self._fifo
+        fifo_popleft = fifo.popleft
+        heappop = _heappop
+        recent_append = self._recent_labels.append
+        perturber = self.perturber
+        # The backstop counts events_processed deltas rather than loop
+        # iterations: event loops may dispatch same-time tasks inline
+        # (bumping events_processed without a queue round-trip), and those
+        # must count against the runaway limit exactly as if each had been
+        # a scheduled wake.
+        base = self.events_processed
+        prev_inline = self._inline_wake_ok
+        self._inline_wake_ok = perturber is None
+        try:
+            while True:
+                # peek the earliest queued entry (cancelled ones included,
+                # as the bounded stop condition predates cancellation
+                # pruning)
+                if fifo:
+                    call = fifo[0]
+                    head_time = call.time
+                    use_fifo = True
+                    if heap:
+                        head = heap[0]
+                        ht = head[0]
+                        if ht < head_time or (ht == head_time and head[1] < call.seq):
+                            head_time = ht
+                            use_fifo = False
+                elif heap:
+                    head_time = heap[0][0]
+                    use_fifo = False
+                else:
+                    break
+                if head_time > bound:
+                    self._time = until
+                    return
+                if use_fifo:
+                    fifo_popleft()
+                else:
+                    call = heappop(heap)[2]
+                if call.cancelled:
+                    # seed-faithful step semantics: once the head passed
+                    # the bound check, the next *live* event dispatches
+                    # without a re-check, and a fully-cancelled remainder
+                    # returns early
+                    call = self._pop_next()
+                    if call is None:
+                        return
+                self._time = call.time
+                self._live -= 1
+                call.sim = None
+                n = self.events_processed + 1
+                self.events_processed = n
+                label = call.label or "call"
+                self._dispatch_label = label
+                self._dispatch_ordinal = n
+                recent_append(label)
+                if perturber is not None:
+                    perturber.on_dispatch(label)
+                call.fn()
+                if self.events_processed - base > limit:
+                    raise SimulationError(
+                        f"simulation exceeded {limit} events (runaway loop?); "
+                        f"last dispatched: {self.recent_dispatch_context()}"
+                    )
+        finally:
+            self._inline_wake_ok = prev_inline
         if until is not None and until > self._time:
             self._time = until
 
@@ -339,20 +505,33 @@ class Simulator:
         like :meth:`run`.
         """
         limit = default_max_events() if max_events is None else max_events
+        pop_next = self._pop_next
+        dispatch = self._dispatch
         processed = 0
-        while not predicate():
-            if not self.step():
-                raise DeadlockError(
-                    "event queue drained before the awaited condition became true"
-                )
-            processed += 1
-            if processed > limit:
-                raise SimulationError(
-                    f"run_until exceeded {limit} events (runaway loop?); "
-                    f"last dispatched: {self.recent_dispatch_context()}"
-                )
+        # Inline wake batching stays off here: the predicate is checked
+        # between events, so per-event granularity is observable (it may
+        # become true between two same-time dispatches).
+        prev_inline = self._inline_wake_ok
+        self._inline_wake_ok = False
+        try:
+            while not predicate():
+                call = pop_next()
+                if call is None:
+                    raise DeadlockError(
+                        "event queue drained before the awaited condition became true"
+                    )
+                dispatch(call)
+                processed += 1
+                if processed > limit:
+                    raise SimulationError(
+                        f"run_until exceeded {limit} events (runaway loop?); "
+                        f"last dispatched: {self.recent_dispatch_context()}"
+                    )
+        finally:
+            self._inline_wake_ok = prev_inline
 
     @property
     def pending_events(self) -> int:
-        """Number of scheduled, non-cancelled events."""
-        return sum(1 for _t, _s, c in self._heap if not c.cancelled)
+        """Number of scheduled, non-cancelled events (O(1): the count is
+        maintained on schedule/cancel/dispatch, never by scanning)."""
+        return self._live

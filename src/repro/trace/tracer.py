@@ -28,6 +28,18 @@ counters (task ids, kernel-event ids): two captures of the same seeded
 scenario are required to serialise byte-identically.  Run ids, thread
 ids and async-span ids are therefore all allocated per-tracer, in first
 -use order, which is itself deterministic.
+
+Storage
+-------
+
+Events are appended as compact uniform tuples
+``(ph, pid, thread, name, cat, ts, extra, args)`` — ``extra`` is the
+duration for ``X`` rows and the span id for ``b``/``n``/``e`` rows — and
+materialised into the Chrome-trace-shaped dicts consumers expect only
+when :attr:`events` is first read past the buffered point.  Emission on
+the hot path therefore allocates one tuple instead of one dict, and
+exports stay byte-identical (tests/test_trace_buffer.py pins this with
+golden digests).
 """
 
 from __future__ import annotations
@@ -43,8 +55,10 @@ class Tracer:
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
-        #: Chrome-trace-shaped event dicts, ``ts``/``dur`` in virtual ns.
-        self.events: List[dict] = []
+        #: Compact event rows (see module docstring); read via ``events``.
+        self._buffer: List[tuple] = []
+        #: Materialised prefix of ``_buffer`` as Chrome-trace-shaped dicts.
+        self._events: List[dict] = []
         self.metrics = MetricsRegistry()
         #: run pid -> label ("run-1", ...), insertion-ordered.
         self.runs: Dict[int, str] = {}
@@ -105,17 +119,9 @@ class Tracer:
         args: Optional[dict] = None,
     ) -> None:
         """A span with known start and end (Chrome phase ``X``)."""
-        self.events.append(
-            {
-                "ph": "X",
-                "pid": pid,
-                "thread": thread,
-                "name": name,
-                "cat": cat,
-                "ts": start_ns,
-                "dur": max(end_ns - start_ns, 0),
-                "args": args or {},
-            }
+        dur = end_ns - start_ns
+        self._buffer.append(
+            ("X", pid, thread, name, cat, start_ns, dur if dur > 0 else 0, args or {})
         )
 
     def instant(
@@ -128,18 +134,7 @@ class Tracer:
         args: Optional[dict] = None,
     ) -> None:
         """A point event (Chrome phase ``i``, thread-scoped)."""
-        self.events.append(
-            {
-                "ph": "i",
-                "s": "t",
-                "pid": pid,
-                "thread": thread,
-                "name": name,
-                "cat": cat,
-                "ts": ts_ns,
-                "args": args or {},
-            }
-        )
+        self._buffer.append(("i", pid, thread, name, cat, ts_ns, None, args or {}))
 
     def counter(
         self,
@@ -151,17 +146,8 @@ class Tracer:
         cat: str = "",
     ) -> None:
         """A sampled counter track (Chrome phase ``C``)."""
-        self.events.append(
-            {
-                "ph": "C",
-                "pid": pid,
-                "thread": thread,
-                "name": name,
-                "cat": cat,
-                "ts": ts_ns,
-                "args": dict(values),
-            }
-        )
+        # ``values`` is copied at emission: callers may mutate it afterwards
+        self._buffer.append(("C", pid, thread, name, cat, ts_ns, None, dict(values)))
 
     def async_event(
         self,
@@ -180,34 +166,95 @@ class Tracer:
         the kernel event lifecycle needs: event A can register before B
         yet dispatch after it.
         """
-        self.events.append(
-            {
-                "ph": phase,
-                "pid": pid,
-                "thread": thread,
-                "name": name,
-                "cat": cat,
-                "id": span_id,
-                "ts": ts_ns,
-                "args": args or {},
-            }
-        )
+        self._buffer.append((phase, pid, thread, name, cat, ts_ns, span_id, args or {}))
 
     # ------------------------------------------------------------------
+    # reading the capture
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[dict]:
+        """Chrome-trace-shaped event dicts, ``ts``/``dur`` in virtual ns.
+
+        Materialised lazily from the compact buffer: emission pays one
+        tuple append, and the dicts are built once, on first read past
+        the previously materialised point.
+        """
+        events = self._events
+        buffer = self._buffer
+        done = len(events)
+        if done == len(buffer):
+            return events
+        append = events.append
+        for row in buffer[done:] if done else buffer:
+            ph, pid, thread, name, cat, ts, extra, args = row
+            if ph == "X":
+                append(
+                    {
+                        "ph": "X",
+                        "pid": pid,
+                        "thread": thread,
+                        "name": name,
+                        "cat": cat,
+                        "ts": ts,
+                        "dur": extra,
+                        "args": args,
+                    }
+                )
+            elif ph == "i":
+                append(
+                    {
+                        "ph": "i",
+                        "s": "t",
+                        "pid": pid,
+                        "thread": thread,
+                        "name": name,
+                        "cat": cat,
+                        "ts": ts,
+                        "args": args,
+                    }
+                )
+            elif ph == "C":
+                append(
+                    {
+                        "ph": "C",
+                        "pid": pid,
+                        "thread": thread,
+                        "name": name,
+                        "cat": cat,
+                        "ts": ts,
+                        "args": args,
+                    }
+                )
+            else:
+                append(
+                    {
+                        "ph": ph,
+                        "pid": pid,
+                        "thread": thread,
+                        "name": name,
+                        "cat": cat,
+                        "id": extra,
+                        "ts": ts,
+                        "args": args,
+                    }
+                )
+        return events
+
     def thread_table(self) -> Dict[Tuple[int, str], int]:
         """(pid, thread name) -> tid, in first-appearance order."""
         table: Dict[Tuple[int, str], int] = {}
         next_tid: Dict[int, int] = {}
-        for event in self.events:
-            key = (event["pid"], event["thread"])
+        for row in self._buffer:
+            key = (row[1], row[2])
             if key not in table:
-                tid = next_tid.get(event["pid"], 1)
+                pid = row[1]
+                tid = next_tid.get(pid, 1)
                 table[key] = tid
-                next_tid[event["pid"]] = tid + 1
+                next_tid[pid] = tid + 1
         return table
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._buffer)
 
 
 #: The permanently disabled tracer shared by untraced simulators.

@@ -1,0 +1,117 @@
+"""Smoke tests for the core microbenchmark suite and its regression gate.
+
+The suite itself runs in CI at full scale; here it runs at a tiny scale
+to pin the report schema, the determinism of the workloads, and the
+``check_regression`` comparison logic (which CI trusts to fail the
+build).
+"""
+
+import copy
+
+import pytest
+
+from repro.harness.bench_core import (
+    DEFAULT_EVENTS,
+    REFERENCE_WORKLOADS,
+    WORKLOADS,
+    check_regression,
+    format_report,
+    run_bench_core,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    return run_bench_core(scale=0.01, repeats=2)
+
+
+def test_report_schema(tiny_report):
+    assert tiny_report["schema"] == 1
+    benchmarks = tiny_report["benchmarks"]
+    for name in WORKLOADS:
+        assert name in benchmarks, name
+        stats = benchmarks[name]
+        assert stats["events"] > 0
+        assert stats["events_per_sec"] > 0
+        assert stats["p50_ns_per_event"] <= stats["p95_ns_per_event"]
+    for name in REFERENCE_WORKLOADS:
+        assert f"{name}-reference" in benchmarks
+        assert name in tiny_report["speedups_vs_seed_reference"]
+    traced = tiny_report["traced_overhead"]
+    assert traced["overhead_ratio"] > 0
+
+
+def test_workloads_are_deterministic():
+    """Same seed, same schedule: event counts must match across runs."""
+    a = run_bench_core(scale=0.01, repeats=1, only=["timer-storm"])
+    b = run_bench_core(scale=0.01, repeats=1, only=["timer-storm"])
+    assert (
+        a["benchmarks"]["timer-storm"]["events"]
+        == b["benchmarks"]["timer-storm"]["events"]
+    )
+
+
+def test_only_filter_and_unknown_name():
+    report = run_bench_core(scale=0.01, repeats=1, only=["raw-dispatch"])
+    assert set(report["benchmarks"]) == {"raw-dispatch", "raw-dispatch-reference"}
+    with pytest.raises(ValueError, match="unknown benchmarks"):
+        run_bench_core(scale=0.01, repeats=1, only=["no-such-bench"])
+
+
+def test_format_report_renders(tiny_report):
+    text = format_report(tiny_report)
+    assert "raw-dispatch" in text
+    assert "speedup vs seed reference" in text
+
+
+def test_default_events_cover_all_workloads():
+    assert set(WORKLOADS) | {"traced-overhead"} == set(DEFAULT_EVENTS)
+
+
+# ----------------------------------------------------------------------
+# regression gate logic
+# ----------------------------------------------------------------------
+
+def _synthetic(live, ref):
+    return {
+        "benchmarks": {
+            "raw-dispatch": {"events_per_sec": live},
+            "raw-dispatch-reference": {"events_per_sec": ref},
+        }
+    }
+
+
+def test_check_regression_passes_on_equal_normalised():
+    baseline = _synthetic(3_000_000, 1_000_000)
+    # twice as fast a machine, same 3x normalised ratio: no failure
+    report = _synthetic(6_000_000, 2_000_000)
+    assert check_regression(report, baseline) == []
+
+
+def test_check_regression_fails_past_tolerance():
+    baseline = _synthetic(3_000_000, 1_000_000)
+    # normalised throughput halved (3x -> 1.5x): well past 20%
+    report = _synthetic(1_500_000, 1_000_000)
+    failures = check_regression(report, baseline)
+    assert len(failures) == 1
+    assert "raw-dispatch" in failures[0]
+    assert "refresh" in failures[0]
+
+
+def test_check_regression_within_tolerance_passes():
+    baseline = _synthetic(3_000_000, 1_000_000)
+    report = _synthetic(2_600_000, 1_000_000)  # ~13% down: inside 20%
+    assert check_regression(report, baseline) == []
+
+
+def test_check_regression_falls_back_to_raw_ratio():
+    baseline = {"benchmarks": {"dispatch-chain": {"events_per_sec": 1_000_000}}}
+    report = {"benchmarks": {"dispatch-chain": {"events_per_sec": 700_000}}}
+    failures = check_regression(report, baseline)
+    assert len(failures) == 1 and "raw" in failures[0]
+
+
+def test_check_regression_ignores_missing_benchmarks(tiny_report):
+    baseline = copy.deepcopy(tiny_report)
+    baseline["benchmarks"]["retired-bench"] = {"events_per_sec": 1.0}
+    assert check_regression(tiny_report, baseline) == []
