@@ -44,13 +44,29 @@ Commands:
                            [--budget N] [--strategy mixed|jitter|priority|targeted]
                            [--out DIR] [--max-witnesses N] [--no-minimize]
                            [--max-events N] [--check-determinism]
-                           [--replay FILE]
+                           [--vs DEFENSE] [--replay FILE]
 
   Perturbs the schedule and injects faults for ``--budget`` trials,
   checks the oracle batteries (races, crashes, leakage, determinism,
   kernel dispatch-order invariant), minimizes the failing trials with
   delta debugging, and writes replayable JSON witnesses into ``--out``.
   ``--replay FILE`` re-runs one witness twice and verifies the verdict.
+  ``--vs DEFENSE`` switches to *differential* mode: every trial runs
+  under both ``--defense`` and ``--vs`` with byte-identical perturbation
+  and fault specs, and a witness is any schedule where one defense holds
+  while the other leaks (the DetBrowser divergence hunt).
+
+* ``cube``                 — the defense × attack cube::
+
+      python -m repro cube [--full] [--attacks A,B,...] [--defenses X,Y,...]
+                           [--seed N] [--json] [--out FILE]
+
+  Every cell runs under a private tracer, so alongside the Table I style
+  verdict each cell carries an overhead profile (event-loop queue-delay
+  CDF, kernel stage latencies, task counts).  Cells where the
+  JSKernel/DetBrowser pair disagree — by verdict or by overhead shape —
+  are reported as first-class divergent cells.  ``--out FILE`` writes the
+  JSON cube (the CI artifact), ``--json`` prints it.
 
 Any command also accepts ``--metrics``: the run is captured under a
 tracer and a metrics summary (task counts, queueing-delay and kernel
@@ -62,7 +78,7 @@ offline digging, and the top 20 functions by cumulative time are
 printed.
 
 The experiment commands (``matrix``, ``table2``, ``figure2``, ``bench``,
-``fuzz``) additionally accept the parallel-engine flags:
+``fuzz``, ``cube``) additionally accept the parallel-engine flags:
 
 * ``--parallel N``   — shard cells over N worker processes (results are
   byte-identical to the serial run; see ``repro.harness.parallel``)
@@ -77,7 +93,7 @@ import json
 import sys
 
 from .analysis.tables import render_series, render_table
-from .attacks import attack_names, create as create_attack
+from .attacks import all_attack_names, attack_names, create as create_attack
 from .attacks.registry import EXTENSION_ATTACKS
 from .defenses import available
 from .harness import (
@@ -332,7 +348,7 @@ def _die(message: str) -> None:
 
 
 def _check_attack(name: str) -> str:
-    if name not in attack_names():
+    if name not in all_attack_names():
         _die(
             f"unknown attack {name!r}; "
             f"run 'python -m repro attacks' for the list"
@@ -463,11 +479,78 @@ def _cmd_analyze(args) -> None:
         print(rendered)
 
 
+CUBE_USAGE = (
+    "usage: python -m repro cube [--full] [--attacks A,B,...] "
+    "[--defenses X,Y,...] [--seed N] [--json] [--out FILE] [--parallel N]"
+)
+
+#: The cube slice run by default (--full covers every Table I row).
+CUBE_ATTACKS = ["cache-attack", "clock-edge", "loopscan", "sab-timer", "cve-2018-5092"]
+
+
+def _cmd_cube(args) -> None:
+    """Defense × attack cube: verdicts + per-cell overhead CDFs."""
+    from .defenses import CUBE_DEFENSES
+    from .harness import run_cube
+
+    args = list(args)
+    parallel, cache = _engine_flags(args)
+    attacks_arg = _flag_value(args, "--attacks", "")
+    defenses_arg = _flag_value(args, "--defenses", "")
+    seed_arg = _flag_value(args, "--seed", "0")
+    out = _flag_value(args, "--out", "")
+    as_json = "--json" in args
+    if as_json:
+        args.remove("--json")
+    full = "--full" in args
+    if full:
+        args.remove("--full")
+    if args:
+        print(CUBE_USAGE)
+        raise SystemExit(2)
+    try:
+        seed = int(seed_arg)
+    except ValueError:
+        _die(f"--seed takes an integer, got {seed_arg!r}")
+
+    if attacks_arg:
+        attacks = [_check_attack(a) for a in attacks_arg.split(",") if a]
+    else:
+        attacks = None if full else CUBE_ATTACKS
+    if defenses_arg:
+        defenses = [_check_defense(d) for d in defenses_arg.split(",") if d]
+    else:
+        defenses = CUBE_DEFENSES
+
+    result = run_cube(
+        attacks=attacks,
+        defenses=defenses,
+        seed=seed,
+        parallel=parallel,
+        cache=cache,
+    )
+    payload = json.dumps(result.to_json(), indent=2, sort_keys=True)
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {out}")
+    if as_json:
+        print(payload)
+    else:
+        print(result.render())
+        print(
+            f"\ncells: {result.computed_cells} computed, "
+            f"{result.cached_cells} cached"
+        )
+    for line in result.errors:
+        print(f"cell error: {line}", file=sys.stderr)
+
+
 FUZZ_USAGE = (
     "usage: python -m repro fuzz [--attack NAME] [--defense NAME] [--seed N] "
     "[--budget N] [--strategy mixed|jitter|priority|targeted] [--parallel N] "
     "[--out DIR] [--max-witnesses N] [--no-minimize] [--max-events N] "
-    "[--check-determinism] [--replay FILE]"
+    "[--check-determinism] [--vs DEFENSE] [--replay FILE]"
 )
 
 #: Event backstop for fuzz trials: perturbed schedules can loop where
@@ -493,6 +576,7 @@ def _cmd_fuzz(args) -> None:
     replay_path = _flag_value(args, "--replay", "")
     attack = _flag_value(args, "--attack", DEFAULT_ATTACK)
     defense = _flag_value(args, "--defense", DEFAULT_DEFENSE)
+    vs = _flag_value(args, "--vs", "")
     seed_arg = _flag_value(args, "--seed", "0")
     budget_arg = _flag_value(args, "--budget", "200")
     strategy = _flag_value(args, "--strategy", "mixed")
@@ -549,6 +633,53 @@ def _cmd_fuzz(args) -> None:
 
     _check_attack(attack)
     _check_defense(defense)
+
+    if vs:
+        from .explore.campaign import run_diff_campaign
+
+        _check_defense(vs)
+        report = run_diff_campaign(
+            attack=attack,
+            defense=defense,
+            vs=vs,
+            seed=seed,
+            budget=budget,
+            strategy=strategy,
+            parallel=parallel,
+            cache=cache,
+        )
+        print(
+            f"{report['trials']} differential trials of {attack}: "
+            f"{defense} vs {vs} (seed {seed}, strategy {strategy}): "
+            f"{report['divergent']} divergent schedules"
+        )
+        for sig, n in sorted(report["signatures"].items()):
+            print(f"  divergence {n:4d}x  [{sig}]")
+        print(
+            f"  shards: {report['computed_shards']} computed, "
+            f"{report['cached_shards']} cached"
+        )
+        for line in report["errors"]:
+            print(f"shard error: {line}", file=sys.stderr)
+        if not report["witnesses"]:
+            print("no divergent schedules found")
+            return
+        os.makedirs(out_dir, exist_ok=True)
+        for witness in report["witnesses"][:max_witnesses]:
+            path = os.path.join(
+                out_dir, f"diff-{attack}-{defense}-vs-{vs}-{witness['trial']}.json"
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(witness, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            inner = witness["report"]
+            print(
+                f"wrote {path}  "
+                f"[{'+'.join(inner['a']['failures']) or 'held'} / "
+                f"{'+'.join(inner['b']['failures']) or 'held'}]"
+            )
+        return
+
     report = run_campaign(
         attack=attack,
         defense=defense,
@@ -615,6 +746,7 @@ COMMANDS = {
     "trace": _cmd_trace,
     "analyze": _cmd_analyze,
     "fuzz": _cmd_fuzz,
+    "cube": _cmd_cube,
 }
 
 

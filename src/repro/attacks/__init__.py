@@ -2,7 +2,7 @@
 
 from .base import Attack, AttackResult, CveAttack, MeasurementTimeout, TimingAttack
 from .expected import cve_rows, expected_matrix, expected_row, timing_rows
-from .registry import TABLE1_ATTACKS, attack_names, create
+from .registry import TABLE1_ATTACKS, all_attack_names, attack_names, create
 
 __all__ = [
     "Attack",
@@ -11,6 +11,7 @@ __all__ = [
     "MeasurementTimeout",
     "TABLE1_ATTACKS",
     "TimingAttack",
+    "all_attack_names",
     "attack_names",
     "create",
     "cve_rows",

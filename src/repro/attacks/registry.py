@@ -77,6 +77,11 @@ def attack_names() -> List[str]:
     return [cls.name for cls in TABLE1_ATTACKS]
 
 
+def all_attack_names() -> List[str]:
+    """Every creatable attack name: Table I rows, then extensions."""
+    return [cls.name for cls in TABLE1_ATTACKS + EXTENSION_ATTACKS]
+
+
 def create(name: str) -> Attack:
     """Instantiate an attack by name."""
     try:

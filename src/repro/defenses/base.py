@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from ..errors import UnknownDefenseError
 from ..runtime.browser import Browser
 from ..runtime.profiles import BrowserProfile, by_name, vulnerable
 
@@ -38,11 +39,15 @@ def register(name: str, factory: Callable[[], Defense]) -> None:
 
 
 def create(name: str) -> Defense:
-    """Instantiate a registered defense."""
-    try:
-        return _registry[name]()
-    except KeyError:
-        raise KeyError(f"unknown defense {name!r}; have {sorted(_registry)}")
+    """Instantiate a registered defense.
+
+    Raises :class:`~repro.errors.UnknownDefenseError` (a ``KeyError``
+    subclass) listing :func:`available` backends for unknown names.
+    """
+    factory = _registry.get(name)
+    if factory is None:
+        raise UnknownDefenseError(name, available())
+    return factory()
 
 
 def available() -> List[str]:

@@ -28,17 +28,18 @@ from ..runtime.scopes import ErrorEvent, WorkerScope
 from ..runtime.simtime import us
 from ..runtime.task import TaskSource
 from ..runtime.xhr import XMLHttpRequest
-from .base import Defense
+from .backend import ClockSlot, DefenseBackend, ScopeSlot, WorkerSlot
 
 #: Sanitised cross-origin error text.
 SANITIZED_ERROR = "Script error."
 
 
-class ChromeZero(Defense):
+class ChromeZero(DefenseBackend):
     """Noisy clocks + polyfill workers + per-call wrap cost."""
 
     name = "chromezero"
     base_browser = "chrome"
+    capabilities = frozenset({"clock", "worker", "scope"})
 
     def __init__(
         self,
@@ -50,18 +51,28 @@ class ChromeZero(Defense):
         self.clock_noise_ns = clock_noise_ns
         self.wrap_cost_ns = wrap_cost_ns
 
-    def install(self, browser) -> None:
-        """Swap clocks, wrap APIs, polyfill Worker."""
+    def clock_slot(self, browser) -> ClockSlot:
+        """JavaScript Zero inherits Fuzzyfox's fuzzy-time idea for its
+        redefined clocks (coarse AND randomly-updating)."""
         rng = browser.rng.stream("chromezero")
-        # JavaScript Zero inherits Fuzzyfox's fuzzy-time idea for its
-        # redefined clocks (coarse AND randomly-updating)
-        browser.clock_policy_factory = lambda: FuzzyClockPolicy(
-            self.clock_resolution_ns, rng
+        return ClockSlot(
+            policy_factory=lambda: FuzzyClockPolicy(self.clock_resolution_ns, rng)
         )
-        browser.page_hooks.append(lambda page: self._on_page(browser, page))
+
+    def worker_slot(self, browser) -> WorkerSlot:
+        """Replace Worker with the nonparallel main-loop polyfill."""
+
+        def polyfill(page) -> None:
+            page.scope.Worker = lambda src: PolyfillWorkerHandle(browser, page, src)
+
+        return WorkerSlot(page_hook=polyfill)
+
+    def scope_slot(self, browser) -> ScopeSlot:
+        """Proxy-based API wrapping: per-call cost + deoptimised JS."""
+        return ScopeSlot(page_hook=lambda page: self._wrap_scope(browser, page))
 
     # ------------------------------------------------------------------
-    def _on_page(self, browser, page) -> None:
+    def _wrap_scope(self, browser, page) -> None:
         scope = page.scope
         # JS Zero's Proxy-based interposition deoptimises hot code: the
         # paper's own evaluation shows Chrome Zero visibly slower than
@@ -72,7 +83,6 @@ class ChromeZero(Defense):
         self._wrap_with_cost(browser, scope, "requestAnimationFrame")
         self._wrap_with_cost(browser, scope, "fetch")
         self._wrap_with_cost(browser, scope, "getComputedStyle")
-        scope.Worker = lambda src: PolyfillWorkerHandle(browser, page, src)
 
     def _wrap_with_cost(self, browser, scope, attr: str) -> None:
         native = getattr(scope, attr)

@@ -1,4 +1,4 @@
-"""DeterFox (Cao et al., CCS 2017): the deterministic browser.
+"""DeterFox (Cao et al., CCS 2017): the deterministic browser, in Firefox.
 
 DeterFox enforces deterministic *cross-origin-observable* event timing
 inside Firefox itself.  We model it by reusing the kernel's deterministic
@@ -15,41 +15,45 @@ policy layer, no worker thread manager, and no clock replacement):
   CVEs are addressed — which is where JSKernel goes beyond it;
 * it is a Firefox *fork*: ``base_browser`` is pinned, mirroring the
   paper's point that it cannot simply be carried to Chrome/Edge.
+
+The :mod:`repro.defenses.detbrowser` backend models the same authors'
+earlier *Deterministic Browser* design (deterministic clocks); the
+delivery machinery they share lives in
+:mod:`repro.defenses.deterministic`.
 """
 
 from __future__ import annotations
 
-from ..kernel.interface import KernelInterface
 from ..kernel.policies.deterministic import DeterministicSchedulingPolicy
 from ..kernel.policy import CompositePolicy, SchedulingGrid
-from ..kernel.space import KernelSpace
-from .base import Defense
+from .backend import DefenseBackend, SchedulerSlot
+from .deterministic import install_deterministic_delivery
 
 
-class DeterFox(Defense):
+class DeterFox(DefenseBackend):
     """Deterministic async delivery, Firefox-only, no kernel layer."""
 
     name = "deterfox"
     base_browser = "firefox"
+    #: One composite page hook: deterministic delivery (scheduler), the
+    #: worker-message re-routing (worker) and fork fragility (scope).
+    capabilities = frozenset({"scheduler", "worker", "scope"})
 
     def __init__(self):
         self.grid = SchedulingGrid()
         self.policy = CompositePolicy([DeterministicSchedulingPolicy()])
 
-    def install(self, browser) -> None:
+    def scheduler_slot(self, browser) -> SchedulerSlot:
         """Hook pages; workers are left entirely native."""
-        browser.page_hooks.append(self._on_page)
+        return SchedulerSlot(
+            page_hook=self._on_page,
+            covers=frozenset({"scheduler", "worker", "scope"}),
+        )
 
     def _on_page(self, page) -> None:
-        kspace = KernelSpace(
-            page.loop, self.policy, self.grid, label=f"deterfox:{page.origin.host}"
+        kspace = install_deterministic_delivery(
+            page, self.policy, self.grid, label=f"deterfox:{page.origin.host}"
         )
-        interface = KernelInterface(kspace)
-        interface.install_timers(page.scope)
-        interface.install_raf(page.scope)
-        interface.install_fetch(page.scope)
-        interface.install_dom_loading(page)
-        self._wrap_worker_messages(page, kspace)
         # a Firefox fork patched in C++: occasional loading errors (the
         # paper's §V-B1 explanation for DeterFox's app incompatibilities)
         page.load_failure_rate = 0.2
@@ -59,38 +63,3 @@ class DeterFox(Defense):
         # clocks, SharedArrayBuffer, the kernel thread manager, and every
         # security policy.
         page.deterfox_kspace = kspace
-
-    def _wrap_worker_messages(self, page, kspace: KernelSpace) -> None:
-        """Same-page determinism covers worker message delivery.
-
-        Worker->main deliveries are re-ordered onto deterministic slots;
-        the workers themselves stay native (no kernel threads, none of
-        the lifecycle policies — the CVE rows stay open).
-        """
-        native_worker = page.scope.Worker
-
-        def deterministic_worker(src):
-            handle = native_worker(src)
-            user = {"handler": None}
-
-            def receiver(event) -> None:
-                handler = user["handler"]
-                if handler is not None:
-                    kspace.scheduler.register_confirmed(
-                        "message", handler, args=(event,), label="dworker-msg",
-                        chain=f"msg:worker-{id(handle)}",
-                    )
-
-            def trap(fn) -> None:
-                # run the native setter first: DeterFox is only a
-                # scheduling change, the (possibly buggy) native
-                # assignment path is untouched
-                handle._native_set_onmessage(fn)
-                user["handler"] = fn
-                handle.set_raw("onmessage", receiver)
-
-            handle.define_setter_trap("onmessage", trap)
-            handle.set_raw("onmessage", receiver)
-            return handle
-
-        page.scope.Worker = deterministic_worker

@@ -17,14 +17,15 @@ from __future__ import annotations
 from ..runtime.clock import FuzzyClockPolicy
 from ..runtime.simtime import ms
 from ..runtime.task import TaskSource
-from .base import Defense
+from .backend import ClockSlot, DefenseBackend, SchedulerSlot, ScopeSlot
 
 
-class Fuzzyfox(Defense):
+class Fuzzyfox(DefenseBackend):
     """Fuzzy time + event-loop pause tasks (Firefox variant)."""
 
     name = "fuzzyfox"
     base_browser = "firefox"
+    capabilities = frozenset({"clock", "scheduler", "scope"})
 
     def __init__(
         self,
@@ -36,24 +37,32 @@ class Fuzzyfox(Defense):
         self.pause_interval_ns = pause_interval_ns
         self.pause_max_cost_ns = pause_max_cost_ns
 
-    def install(self, browser) -> None:
-        """Swap in fuzzy clocks and start pause pumps on every loop."""
+    def clock_slot(self, browser) -> ClockSlot:
+        """Fuzzy clocks on every time source, animation/media included."""
         rng = browser.rng.stream("fuzzyfox")
-        browser.clock_policy_factory = lambda: FuzzyClockPolicy(
-            self.fuzz_resolution_ns, rng
+        return ClockSlot(
+            policy_factory=lambda: FuzzyClockPolicy(self.fuzz_resolution_ns, rng),
+            animation_policy_factory=lambda: FuzzyClockPolicy(
+                self.fuzz_resolution_ns, rng
+            ),
         )
-        # Fuzzyfox fuzzes every time source, animation/media time included
-        browser.animation_clock_policy_factory = lambda: FuzzyClockPolicy(
-            self.fuzz_resolution_ns, rng
-        )
-        browser.page_hooks.append(lambda page: self._on_page(browser, page))
-        browser.worker_hooks.append(lambda agent: self._start_pump(browser, agent.loop))
 
-    def _on_page(self, browser, page) -> None:
-        # heavily patched C++: sporadic loading errors (paper §V-B1
-        # attributes Fuzzyfox's non-time incompatibilities to exactly this)
-        page.load_failure_rate = 0.3
-        self._start_pump(browser, page.loop)
+    def scheduler_slot(self, browser) -> SchedulerSlot:
+        """Pause pumps degrade implicit clocks on every event loop."""
+        return SchedulerSlot(
+            page_hook=lambda page: self._start_pump(browser, page.loop),
+            worker_hook=lambda agent: self._start_pump(browser, agent.loop),
+        )
+
+    def scope_slot(self, browser) -> ScopeSlot:
+        """Compatibility fragility of the heavily patched C++ build.
+
+        Sporadic loading errors (paper §V-B1 attributes Fuzzyfox's
+        non-time incompatibilities to exactly this).
+        """
+        return ScopeSlot(
+            page_hook=lambda page: setattr(page, "load_failure_rate", 0.3)
+        )
 
     def _start_pump(self, browser, loop) -> None:
         rng = browser.rng.stream(f"fuzzyfox-pause:{loop.name}")

@@ -15,22 +15,38 @@ from __future__ import annotations
 
 from ..kernel.jskernel import JSKernel
 from ..kernel.policies import DeterministicSchedulingPolicy, all_cve_policies
-from .base import Defense
+from .backend import DefenseBackend, SchedulerSlot, ScopeSlot
 
 
-class JSKernelDefense(Defense):
-    """The full JSKernel extension."""
+class JSKernelDefense(DefenseBackend):
+    """The full JSKernel extension.
+
+    The kernel is a *composite* installer: one page hook injects a
+    :class:`~repro.kernel.jskernel.JSKernelInstance` that replaces the
+    clocks, routes every async delivery through the two-stage scheduler,
+    takes over the worker substrate and wraps the remaining APIs — so a
+    single scheduler slot ``covers`` all four capabilities.
+    """
 
     name = "jskernel"
     base_browser = None  # browser-agnostic: deployable on all three
+    capabilities = frozenset({"clock", "scheduler", "worker", "scope"})
 
     def __init__(self, kernel: JSKernel = None):
         self.kernel = kernel or JSKernel()
 
-    def install(self, browser) -> None:
+    def scheduler_slot(self, browser) -> SchedulerSlot:
         """Install the kernel into every page of the browser."""
-        self.kernel.install(browser)
-        browser.jskernel = self.kernel
+        return SchedulerSlot(
+            page_hook=self.kernel.install_into_page,
+            covers=frozenset({"clock", "scheduler", "worker", "scope"}),
+        )
+
+    def scope_slot(self, browser) -> ScopeSlot:
+        """Expose the kernel on the browser (audit/debug surface)."""
+        return ScopeSlot(
+            browser_hook=lambda b: setattr(b, "jskernel", self.kernel)
+        )
 
 
 class JSKernelNoDeterminism(JSKernelDefense):

@@ -7,15 +7,18 @@ of the :class:`BrowserProfile`).
 
 from __future__ import annotations
 
-from .base import Defense
+from .backend import DefenseBackend
 
 
-class LegacyBrowser(Defense):
-    """No defense at all; the Table I baseline columns."""
+class LegacyBrowser(DefenseBackend):
+    """No defense at all; the Table I baseline columns.
+
+    Declares no capabilities, so the backend base class installs nothing
+    — which is the point of the baseline.
+    """
+
+    capabilities = frozenset()
 
     def __init__(self, browser: str = "chrome"):
         self.base_browser = browser
         self.name = f"legacy-{browser}"
-
-    def install(self, browser) -> None:
-        """Nothing to install."""

@@ -11,14 +11,15 @@ from __future__ import annotations
 
 from ..runtime.clock import QuantizedClockPolicy
 from ..runtime.simtime import ms
-from .base import Defense
+from .backend import ClockSlot, DefenseBackend, ScopeSlot
 
 
-class TorBrowser(Defense):
+class TorBrowser(DefenseBackend):
     """100 ms clock + high-latency network (Firefox variant)."""
 
     name = "tor"
     base_browser = "firefox"
+    capabilities = frozenset({"clock", "scope"})
 
     def __init__(
         self,
@@ -35,17 +36,28 @@ class TorBrowser(Defense):
         #: milliseconds on Tor (Table II's 500/600 ms column).
         self.js_cost_scale = js_cost_scale
 
-    def install(self, browser) -> None:
-        """Clamp clocks; slow the JS engine; onion-route the network."""
-        browser.clock_policy_factory = lambda: QuantizedClockPolicy(
-            self.clock_resolution_ns, name="tor-100ms"
+    def clock_slot(self, browser) -> ClockSlot:
+        """The famous 100 ms clamp (animation clocks stay exact)."""
+        return ClockSlot(
+            policy_factory=lambda: QuantizedClockPolicy(
+                self.clock_resolution_ns, name="tor-100ms"
+            )
         )
-        browser.network.base_latency_ns = self.circuit_latency_ns
-        browser.network.jitter_ns = ms(60)
-        browser.network.bandwidth_bytes_per_ms = self.bandwidth_bytes_per_ms
-        browser.page_hooks.append(
-            lambda page: setattr(page.scope, "js_cost_scale", self.js_cost_scale)
-        )
-        browser.worker_hooks.append(
-            lambda agent: setattr(agent.scope, "js_cost_scale", self.js_cost_scale)
+
+    def scope_slot(self, browser) -> ScopeSlot:
+        """Onion-route the network; security slider disables the JIT."""
+
+        def shape_network(b) -> None:
+            b.network.base_latency_ns = self.circuit_latency_ns
+            b.network.jitter_ns = ms(60)
+            b.network.bandwidth_bytes_per_ms = self.bandwidth_bytes_per_ms
+
+        return ScopeSlot(
+            browser_hook=shape_network,
+            page_hook=lambda page: setattr(
+                page.scope, "js_cost_scale", self.js_cost_scale
+            ),
+            worker_hook=lambda agent: setattr(
+                agent.scope, "js_cost_scale", self.js_cost_scale
+            ),
         )

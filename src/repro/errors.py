@@ -69,6 +69,27 @@ class CrossOriginLeak(ReproError):
     """
 
 
+class UnknownDefenseError(ReproError, KeyError):
+    """An unregistered defense name was requested.
+
+    Subclasses :class:`KeyError` so existing ``except KeyError`` callers
+    (and tests) keep working, but carries the list of registered backends
+    so the message is actionable.
+    """
+
+    def __init__(self, name: str, available):
+        self.defense = name
+        self.available = list(available)
+        super().__init__(
+            f"unknown defense {name!r}; available backends: "
+            + ", ".join(self.available)
+        )
+
+    def __str__(self) -> str:
+        # KeyError.__str__ would repr() the message; report it verbatim.
+        return self.args[0]
+
+
 class KernelError(ReproError):
     """A JSKernel internal invariant was violated."""
 

@@ -19,18 +19,22 @@ package *searches* that space:
 Entry point: ``python -m repro fuzz``.
 """
 
-from .campaign import run_campaign, run_fuzz_cell
+from .campaign import run_campaign, run_diff_campaign, run_diff_cell, run_fuzz_cell
 from .faults import FaultPlan
 from .minimize import minimize_witness, replay_witness
-from .oracles import evaluate_run
+from .oracles import evaluate_divergence, evaluate_run, security_failures
 from .perturb import make_perturber
 
 __all__ = [
     "FaultPlan",
+    "evaluate_divergence",
     "evaluate_run",
     "make_perturber",
     "minimize_witness",
     "replay_witness",
     "run_campaign",
+    "run_diff_campaign",
+    "run_diff_cell",
     "run_fuzz_cell",
+    "security_failures",
 ]

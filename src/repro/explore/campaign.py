@@ -27,7 +27,7 @@ from ..analysis.scenario import run_traced_scenario
 from ..harness.parallel import Cell, ExperimentEngine
 from ..runtime.rng import hash_seed
 from ..runtime.simtime import ms
-from .oracles import evaluate_run
+from .oracles import evaluate_divergence, evaluate_run
 from .perturb import DELAY_CHOICES_NS, exempt_label
 
 #: Default fuzz scenario: the schedule-sensitive UAF the paper opens with.
@@ -198,6 +198,140 @@ def run_fuzz_cell(
     }
 
 
+def run_diff_cell(
+    attack: str,
+    defense: str,
+    vs: str,
+    seed: int,
+    start: int,
+    count: int,
+    strategy: str = "mixed",
+) -> dict:
+    """One differential shard: identical trials under two defenses.
+
+    Trial specs are derived from a *combined* defense key so both
+    defenses see byte-identical perturbations and fault plans; the
+    reordering-target label pool is the union of both baselines so the
+    targeted strategy can bite under either.
+    """
+    pair_key = f"{defense}~vs~{vs}"
+    labels = tuple(
+        sorted(
+            set(interesting_labels(attack, defense, seed))
+            | set(interesting_labels(attack, vs, seed))
+        )
+    )
+    witnesses: List[dict] = []
+    signatures: Dict[str, int] = {}
+    divergent = 0
+    for index in range(start, start + count):
+        perturb_spec, fault_spec = generate_trial(
+            attack, pair_key, seed, index, strategy, labels
+        )
+        report = evaluate_divergence(
+            attack, defense, vs, seed, perturb_spec=perturb_spec, fault_spec=fault_spec
+        )
+        if report["divergent"]:
+            divergent += 1
+            sig = (
+                "+".join(report["a"]["failures"]) or "held"
+            ) + " / " + ("+".join(report["b"]["failures"]) or "held")
+            signatures[sig] = signatures.get(sig, 0) + 1
+            witnesses.append(
+                {
+                    "attack": attack,
+                    "defense": defense,
+                    "vs": vs,
+                    "seed": seed,
+                    "trial": index,
+                    "strategy": strategy,
+                    "perturb": perturb_spec,
+                    "faults": fault_spec,
+                    "report": report,
+                }
+            )
+    return {
+        "trials": count,
+        "divergent": divergent,
+        "witnesses": witnesses,
+        "signatures": signatures,
+    }
+
+
+def run_diff_campaign(
+    attack: str = DEFAULT_ATTACK,
+    defense: str = "jskernel",
+    vs: str = "detbrowser",
+    seed: int = 0,
+    budget: int = 100,
+    strategy: str = "mixed",
+    parallel: Optional[int] = None,
+    cache=None,
+    shard_size: int = DEFAULT_SHARD,
+) -> dict:
+    """Hunt schedules where one defense holds and the other leaks.
+
+    The differential campaign points the fuzzer at a defense *pair*
+    (JSKernel vs the DetBrowser backend by default): every trial runs
+    twice, once per defense, under identical perturbation + fault specs,
+    and trials whose security-failure signatures differ become
+    divergence witnesses.  Shards are engine cells (kind ``"fuzz-diff"``)
+    so ``parallel``/``cache`` behave like every other campaign.
+    """
+    if budget <= 0:
+        raise ValueError(f"budget must be positive, got {budget}")
+    shard_size = max(int(shard_size), 1)
+    cells = [
+        Cell(
+            "fuzz-diff",
+            {
+                "attack": attack,
+                "defense": defense,
+                "vs": vs,
+                "seed": seed,
+                "start": start,
+                "count": min(shard_size, budget - start),
+                "strategy": strategy,
+            },
+        )
+        for start in range(0, budget, shard_size)
+    ]
+    engine = ExperimentEngine(workers=parallel, cache=cache)
+    results = engine.run(cells)
+
+    witnesses: List[dict] = []
+    signatures: Dict[str, int] = {}
+    errors: List[str] = []
+    trials = 0
+    divergent = 0
+    for result in results:
+        if not result.ok:
+            errors.append(f"{result.cell.label()}: {result.error}")
+            continue
+        payload = result.payload
+        trials += payload["trials"]
+        divergent += payload["divergent"]
+        witnesses.extend(payload["witnesses"])
+        for sig, n in payload["signatures"].items():
+            signatures[sig] = signatures.get(sig, 0) + n
+
+    return {
+        "attack": attack,
+        "defense": defense,
+        "vs": vs,
+        "seed": seed,
+        "budget": budget,
+        "strategy": strategy,
+        "trials": trials,
+        "divergent": divergent,
+        "witnesses": witnesses,
+        "signatures": signatures,
+        "computed_shards": engine.computed,
+        "cached_shards": engine.cache_hits,
+        "errors": errors,
+    }
+
+
 def run_campaign(
     attack: str = DEFAULT_ATTACK,
     defense: str = DEFAULT_DEFENSE,
@@ -279,5 +413,7 @@ __all__ = [
     "generate_trial",
     "interesting_labels",
     "run_campaign",
+    "run_diff_campaign",
+    "run_diff_cell",
     "run_fuzz_cell",
 ]

@@ -158,11 +158,70 @@ def signature(verdict: dict) -> List[str]:
     return list(verdict["failures"])
 
 
+def security_failures(verdict: dict) -> List[str]:
+    """The defense-outcome part of a verdict's failure signature.
+
+    Crash, leak and race findings say whether the *attack* got through;
+    kernel-invariant and nondeterminism findings say whether the
+    *implementation* misbehaved.  Differential fuzzing compares only the
+    former — a kernel-only invariant can never "diverge" on a defense
+    that has no kernel.
+    """
+    return sorted(
+        failure
+        for failure in verdict["failures"]
+        if failure in ("crash", "leak") or failure.startswith("race:")
+    )
+
+
+def evaluate_divergence(
+    attack: str,
+    defense_a: str,
+    defense_b: str,
+    seed: int,
+    perturb_spec: Optional[dict] = None,
+    fault_spec: Optional[dict] = None,
+) -> dict:
+    """Run one identical trial under two defenses and compare what escaped.
+
+    The divergence-hunting oracle: same attack, same seed, same
+    perturbation spec, same fault plan — the only variable is the
+    defense, so a differing :func:`security_failures` signature means one
+    defense held a schedule the other leaked on.  Pure function of its
+    arguments, like :func:`evaluate_run`.
+    """
+    verdict_a = evaluate_run(
+        attack, defense_a, seed, perturb_spec, fault_spec, check_determinism=False
+    )
+    verdict_b = evaluate_run(
+        attack, defense_b, seed, perturb_spec, fault_spec, check_determinism=False
+    )
+    escaped_a = security_failures(verdict_a)
+    escaped_b = security_failures(verdict_b)
+    return {
+        "attack": attack,
+        "seed": seed,
+        "a": {
+            "defense": defense_a,
+            "failures": escaped_a,
+            "outcome": verdict_a["outcome"],
+        },
+        "b": {
+            "defense": defense_b,
+            "failures": escaped_b,
+            "outcome": verdict_b["outcome"],
+        },
+        "divergent": escaped_a != escaped_b,
+    }
+
+
 __all__ = [
     "CRASH_MARKERS",
+    "evaluate_divergence",
     "evaluate_run",
     "kernel_order_violations",
     "merged_schedule",
+    "security_failures",
     "signature",
     "traced_run",
 ]

@@ -15,6 +15,7 @@ from .compat import (
     week_long_user_test,
 )
 from .cache import ResultCache, as_cache, code_fingerprint, default_cache_dir
+from .cube import CUBE_PAIR, CubeResult, overhead_profile, run_cube, run_cube_cell
 from .matrix import TableOneResult, run_table1
 from .parallel import Cell, CellResult, ExperimentEngine, run_cells
 from .perf import (
@@ -31,6 +32,8 @@ from .perf import (
 
 __all__ = [
     "AUDIT_SEEDS",
+    "CUBE_PAIR",
+    "CubeResult",
     "DETERMINISTIC_DEFENSES",
     "FIGURE2_DEFENSES",
     "FIGURE2_SIZES",
@@ -49,6 +52,9 @@ __all__ = [
     "determinism_matrix",
     "determinism_violations",
     "dom_similarity_survey",
+    "overhead_profile",
+    "run_cube",
+    "run_cube_cell",
     "dromaeo_overhead",
     "figure2_script_parsing",
     "figure3_cdf",

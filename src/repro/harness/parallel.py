@@ -159,6 +159,22 @@ def _run_fuzz_cell(**params) -> dict:
     return run_fuzz_cell(**params)
 
 
+@cell_kind("fuzz-diff")
+def _run_fuzz_diff_cell(**params) -> dict:
+    """One differential fuzz shard (see :mod:`repro.explore.campaign`)."""
+    from ..explore.campaign import run_diff_cell
+
+    return run_diff_cell(**params)
+
+
+@cell_kind("cube")
+def _run_cube_cell(attack: str, defense: str, seed: int) -> dict:
+    """One defense × attack cube cell: verdict + overhead profile."""
+    from ..harness.cube import run_cube_cell
+
+    return run_cube_cell(attack, defense, seed=seed)
+
+
 # ----------------------------------------------------------------------
 # worker-side execution
 # ----------------------------------------------------------------------

@@ -87,6 +87,31 @@ class FuzzyClockPolicy(ClockPolicy):
         return self._last_reported
 
 
+class DeterministicClockPolicy(ClockPolicy):
+    """Deterministic Browser (Cao et al.) clock: time *is* the read count.
+
+    The reported value ignores true virtual time entirely and advances by
+    a fixed quantum per observation, so the clock of each scope (= each
+    thread, since every scope gets a fresh policy instance from the
+    factory) is a pure function of how often that scope has looked at it.
+    Two runs that execute the same reads see the same readings, whatever
+    the hardware did in between — the defining property of the
+    deterministic-clock defense, and the reason no timing difference
+    survives it.  The cost: reported time is unrelated to real duration,
+    which is exactly the compatibility trade the DetBrowser paper accepts.
+    """
+
+    name = "deterministic"
+
+    def __init__(self, quantum_ns: int = 10_000):
+        self.quantum_ns = quantum_ns
+        self.reads = 0
+
+    def report(self, true_ns: int) -> int:
+        self.reads += 1
+        return self.reads * self.quantum_ns
+
+
 class NoisyQuantizedClockPolicy(ClockPolicy):
     """Chrome-Zero-style clock: coarse grid plus additive random noise."""
 

@@ -155,6 +155,11 @@ class SharedCounterBuffer:
         """True while a rate activity is running."""
         return self._activity is not None
 
+    @property
+    def current_activity(self) -> Optional[RateActivity]:
+        """The running rate activity, if any (read by SAB-wrapping defenses)."""
+        return self._activity
+
 
 def make_timer_pair(sim: Simulator) -> Tuple[SharedCounterBuffer, SharedCounterBuffer]:
     """Convenience: (counter, flag) buffers as SAB timer attacks use."""

@@ -1,0 +1,284 @@
+"""Unit tests for the promoted CI validators (tools/ci_checks.py)."""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "tools")
+)
+
+import ci_checks  # noqa: E402
+from ci_checks import (  # noqa: E402
+    CheckFailure,
+    check_analyze,
+    check_cube,
+    check_fuzz,
+    check_trace,
+)
+
+
+def write(path, payload):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return str(path)
+
+
+# ----------------------------------------------------------------------
+# trace
+# ----------------------------------------------------------------------
+GOOD_TRACE = {
+    "traceEvents": [
+        {"ph": "M", "name": "thread_name", "pid": 1, "tid": 1},
+        {"ph": "X", "name": "task", "ts": 1, "pid": 1, "tid": 1},
+    ]
+}
+
+
+def test_check_trace_accepts_a_valid_trace(tmp_path):
+    path = write(tmp_path / "trace.json", GOOD_TRACE)
+    assert check_trace(path) == "ok: 1 events, 1 thread rows"
+
+
+@pytest.mark.parametrize(
+    "trace, fragment",
+    [
+        ({"traceEvents": []}, "no events"),
+        ({"traceEvents": [{"ph": "M", "name": "thread_name"}]}, "only metadata"),
+        (
+            {"traceEvents": [{"ph": "X", "name": "bad"}]},
+            "malformed event",
+        ),
+        (
+            {"traceEvents": [{"ph": "X", "ts": 1, "pid": 1, "tid": 1}]},
+            "no thread rows",
+        ),
+    ],
+)
+def test_check_trace_rejects_bad_traces(tmp_path, trace, fragment):
+    path = write(tmp_path / "trace.json", trace)
+    with pytest.raises(CheckFailure, match=fragment):
+        check_trace(path)
+
+
+def test_check_trace_reports_unreadable_files(tmp_path):
+    with pytest.raises(CheckFailure, match="cannot load"):
+        check_trace(str(tmp_path / "missing.json"))
+
+
+# ----------------------------------------------------------------------
+# analyze
+# ----------------------------------------------------------------------
+def analyze_reports(tmp_path, **overrides):
+    reports = {
+        "races-baseline.json": {
+            "race_count": 2,
+            "runs": [{"races": [{"pattern": "use-after-free"}]}],
+        },
+        "races-jskernel.json": {"race_count": 0, "runs": []},
+        "determinism-jskernel.json": {
+            "deterministic": True,
+            "divergence": 0,
+            "schedule_length": 42,
+        },
+        "determinism-baseline.json": {"divergence": 3},
+    }
+    reports.update(overrides)
+    for name, payload in reports.items():
+        write(tmp_path / name, payload)
+    return str(tmp_path)
+
+
+def test_check_analyze_accepts_the_expected_shape(tmp_path):
+    summary = check_analyze(analyze_reports(tmp_path))
+    assert summary.startswith("ok: baseline races 2")
+
+
+@pytest.mark.parametrize(
+    "overrides, fragment",
+    [
+        (
+            {"races-baseline.json": {"race_count": 0, "runs": []}},
+            "baseline found no races",
+        ),
+        (
+            {
+                "races-baseline.json": {
+                    "race_count": 1,
+                    "runs": [{"races": [{"pattern": "write-write"}]}],
+                }
+            },
+            "no use-after-free",
+        ),
+        ({"races-jskernel.json": {"race_count": 1, "runs": []}}, "expected 0"),
+        (
+            {
+                "determinism-jskernel.json": {
+                    "deterministic": False,
+                    "divergence": 1,
+                    "schedule_length": 10,
+                }
+            },
+            "not deterministic",
+        ),
+        (
+            {"determinism-baseline.json": {"divergence": 0}},
+            "unexpectedly seed-independent",
+        ),
+    ],
+)
+def test_check_analyze_rejects_drift(tmp_path, overrides, fragment):
+    with pytest.raises(CheckFailure, match=fragment):
+        check_analyze(analyze_reports(tmp_path, **overrides))
+
+
+# ----------------------------------------------------------------------
+# fuzz (failure paths; the happy path replays a real witness in CI)
+# ----------------------------------------------------------------------
+def test_check_fuzz_rejects_an_empty_directory(tmp_path):
+    with pytest.raises(CheckFailure, match="no witness files"):
+        check_fuzz(str(tmp_path))
+
+
+def test_check_fuzz_rejects_an_unminimised_witness(tmp_path):
+    write(tmp_path / "w.json", {"signature": ["leak"]})
+    with pytest.raises(CheckFailure, match="not minimised"):
+        check_fuzz(str(tmp_path))
+
+
+def test_check_fuzz_rejects_a_signatureless_witness(tmp_path):
+    write(tmp_path / "w.json", {"signature": []})
+    with pytest.raises(CheckFailure, match="no failure signature"):
+        check_fuzz(str(tmp_path))
+
+
+# ----------------------------------------------------------------------
+# cube
+# ----------------------------------------------------------------------
+def cube_payload():
+    delay = {"count": 3, "mean_ns": 10.0, "cdf": [{"le_ns": None, "fraction": 1.0}]}
+    return {
+        "attacks": ["cve-2018-5092"],
+        "defenses": ["jskernel", "detbrowser"],
+        "pair": ["jskernel", "detbrowser"],
+        "seed": 0,
+        "verdicts": {"cve-2018-5092": {"jskernel": True, "detbrowser": False}},
+        "details": {"cve-2018-5092": {"jskernel": "held", "detbrowser": "leak"}},
+        "overhead": {
+            "cve-2018-5092": {
+                "jskernel": {"queue_delay": delay},
+                "detbrowser": {"queue_delay": delay},
+            }
+        },
+        "divergent": [
+            {
+                "attack": "cve-2018-5092",
+                "kind": "verdict",
+                "jskernel": True,
+                "detbrowser": False,
+            }
+        ],
+        "errors": [],
+    }
+
+
+def cube_fixture():
+    cube = cube_payload()
+    return {
+        key: cube[key]
+        for key in ("attacks", "defenses", "pair", "seed", "verdicts", "divergent")
+    }
+
+
+def test_check_cube_accepts_a_matching_dump(tmp_path):
+    cube = write(tmp_path / "cube.json", cube_payload())
+    expected = write(tmp_path / "expected.json", cube_fixture())
+    summary = check_cube(cube, expected)
+    assert summary.startswith("ok: 2 cells")
+    assert "1 verdict-divergent" in summary
+
+
+def test_check_cube_writes_the_cdf_artifact(tmp_path):
+    cube = write(tmp_path / "cube.json", cube_payload())
+    expected = write(tmp_path / "expected.json", cube_fixture())
+    out = str(tmp_path / "cdfs.json")
+    check_cube(cube, expected, cdf_out=out)
+    with open(out, "r", encoding="utf-8") as handle:
+        cdfs = json.load(handle)
+    assert cdfs["cve-2018-5092"]["jskernel"]["queue_delay"]["cdf"]
+
+
+def test_check_cube_rejects_verdict_drift(tmp_path):
+    drifted = cube_payload()
+    drifted["verdicts"]["cve-2018-5092"]["detbrowser"] = True
+    cube = write(tmp_path / "cube.json", drifted)
+    expected = write(tmp_path / "expected.json", cube_fixture())
+    with pytest.raises(CheckFailure, match="verdict drift"):
+        check_cube(cube, expected)
+
+
+def test_check_cube_rejects_divergence_drift(tmp_path):
+    drifted = cube_payload()
+    drifted["divergent"] = []
+    cube = write(tmp_path / "cube.json", drifted)
+    expected = write(tmp_path / "expected.json", cube_fixture())
+    with pytest.raises(CheckFailure, match="divergent cells drifted"):
+        check_cube(cube, expected)
+
+
+def test_check_cube_rejects_cell_errors(tmp_path):
+    poisoned = cube_payload()
+    poisoned["errors"] = ["cve-2018-5092 vs jskernel: boom"]
+    cube = write(tmp_path / "cube.json", poisoned)
+    expected = write(tmp_path / "expected.json", cube_fixture())
+    with pytest.raises(CheckFailure, match="cell errors"):
+        check_cube(cube, expected)
+
+
+def test_check_cube_rejects_a_missing_cdf(tmp_path):
+    bare = cube_payload()
+    bare["overhead"]["cve-2018-5092"]["detbrowser"] = {}
+    cube = write(tmp_path / "cube.json", bare)
+    expected = write(tmp_path / "expected.json", cube_fixture())
+    with pytest.raises(CheckFailure, match="missing a queue-delay CDF"):
+        check_cube(cube, expected)
+
+
+def test_check_cube_requires_the_fixture_to_pin_divergence(tmp_path):
+    agreeing = cube_payload()
+    agreeing["verdicts"]["cve-2018-5092"]["detbrowser"] = True
+    agreeing["divergent"] = []
+    fixture = {
+        key: agreeing[key]
+        for key in ("attacks", "defenses", "pair", "seed", "verdicts", "divergent")
+    }
+    cube = write(tmp_path / "cube.json", agreeing)
+    expected = write(tmp_path / "expected.json", fixture)
+    with pytest.raises(CheckFailure, match="pins no verdict-divergent"):
+        check_cube(cube, expected)
+
+
+def test_committed_fixture_satisfies_the_gate_requirements():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    path = os.path.join(root, "tests", "golden", "cube_expected.json")
+    with open(path, "r", encoding="utf-8") as handle:
+        fixture = json.load(handle)
+    assert [c for c in fixture["divergent"] if c["kind"] == "verdict"]
+    assert fixture["pair"] == ["jskernel", "detbrowser"]
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing
+# ----------------------------------------------------------------------
+def test_main_returns_zero_on_success(tmp_path, capsys):
+    path = write(tmp_path / "trace.json", GOOD_TRACE)
+    assert ci_checks.main(["trace", path]) == 0
+    assert capsys.readouterr().out.startswith("ok:")
+
+
+def test_main_returns_one_on_failure(tmp_path, capsys):
+    path = write(tmp_path / "trace.json", {"traceEvents": []})
+    assert ci_checks.main(["trace", path]) == 1
+    assert "check failed" in capsys.readouterr().err

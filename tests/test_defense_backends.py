@@ -1,0 +1,130 @@
+"""Conformance suite for the pluggable defense-backend interface.
+
+Every registered defense must be a :class:`DefenseBackend` whose
+capability declarations match what its slots actually cover, whose
+install is idempotent per browser, and whose install path never touches
+the global ``random`` module (seeded streams only — the repo's
+determinism contract).
+"""
+
+import random
+
+import pytest
+
+from repro.defenses import (
+    CAPABILITIES,
+    ClockSlot,
+    DefenseBackend,
+    available,
+    create,
+    make_browser,
+)
+from repro.errors import PolicyError, UnknownDefenseError
+from repro.runtime import Browser, chrome
+from repro.runtime.simtime import ms
+
+
+@pytest.mark.parametrize("name", available())
+def test_every_registered_defense_is_a_backend(name):
+    defense = create(name)
+    assert isinstance(defense, DefenseBackend)
+    assert defense.capabilities <= set(CAPABILITIES)
+
+
+@pytest.mark.parametrize("name", available())
+def test_install_leaves_a_receipt_matching_declarations(name):
+    browser = make_browser(name, seed=3)
+    receipts = browser.defense_receipts
+    assert len(receipts) == 1
+    (receipt,) = receipts.values()
+    assert receipt.capabilities == frozenset(create(name).capabilities)
+    # applied slots come in canonical order and only from known kinds
+    assert list(receipt.slots) == [
+        kind for kind in CAPABILITIES if kind in receipt.slots
+    ]
+
+
+@pytest.mark.parametrize("name", available())
+def test_install_is_idempotent_per_browser(name):
+    browser = make_browser(name, seed=1)
+    defense = browser.defense
+    page_hooks = list(browser.page_hooks)
+    worker_hooks = list(browser.worker_hooks)
+    clock_factory = browser.clock_policy_factory
+    receipts = dict(browser.defense_receipts)
+
+    defense.install(browser)
+
+    assert browser.page_hooks == page_hooks
+    assert browser.worker_hooks == worker_hooks
+    assert browser.clock_policy_factory is clock_factory
+    assert browser.defense_receipts == receipts
+
+
+@pytest.mark.parametrize("name", available())
+def test_install_and_page_run_draw_no_global_random(name):
+    random.seed(987654321)
+    state = random.getstate()
+    browser = make_browser(name, seed=2, with_bugs=False)
+    page = browser.open_page("https://app.example/")
+    page.run_script(
+        lambda scope: scope.setTimeout(lambda: scope.performance.now(), 1)
+    )
+    browser.run(until=ms(50))
+    assert random.getstate() == state
+
+
+# ----------------------------------------------------------------------
+# misdeclared synthetic backends are rejected at install time
+# ----------------------------------------------------------------------
+class _UndeclaredSlot(DefenseBackend):
+    name = "synthetic-undeclared"
+    capabilities = frozenset()  # ... yet provides a clock slot
+
+    def clock_slot(self, browser):
+        return ClockSlot(policy_factory=lambda: None)
+
+
+class _UncoveredCapability(DefenseBackend):
+    name = "synthetic-uncovered"
+    capabilities = frozenset({"scope"})  # ... yet provides no slot
+
+
+class _UnknownCapability(DefenseBackend):
+    name = "synthetic-unknown"
+    capabilities = frozenset({"quantum-tunneling"})
+
+
+@pytest.mark.parametrize(
+    "backend_cls, fragment",
+    [
+        (_UndeclaredSlot, "undeclared"),
+        (_UncoveredCapability, "no covering"),
+        (_UnknownCapability, "unknown capabilities"),
+    ],
+)
+def test_misdeclared_backend_raises_policy_error(backend_cls, fragment):
+    browser = Browser(profile=chrome(), seed=1)
+    with pytest.raises(PolicyError, match=fragment):
+        backend_cls().install(browser)
+
+
+def test_misdeclared_backend_leaves_no_receipt():
+    browser = Browser(profile=chrome(), seed=1)
+    with pytest.raises(PolicyError):
+        _UncoveredCapability().install(browser)
+    assert browser.defense_receipts == {}
+
+
+# ----------------------------------------------------------------------
+# registry error reporting
+# ----------------------------------------------------------------------
+def test_create_unknown_defense_lists_available():
+    with pytest.raises(UnknownDefenseError) as err:
+        create("analyze")
+    message = str(err.value)
+    assert "'analyze'" in message
+    for name in available():
+        assert name in message
+    # stays a KeyError for callers that catch the historical type
+    assert isinstance(err.value, KeyError)

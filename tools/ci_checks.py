@@ -1,0 +1,286 @@
+"""CI smoke-job validators, promoted from workflow heredocs.
+
+Every ``*-smoke`` job in ``.github/workflows/ci.yml`` used to carry its
+validation logic as an inline ``python - <<'EOF'`` heredoc — unlinted,
+untested, and invisible to grep.  This module is the same logic as
+importable, unit-tested functions behind one CLI::
+
+    python tools/ci_checks.py trace    /tmp/trace.json
+    python tools/ci_checks.py analyze  /tmp/analysis
+    python tools/ci_checks.py parallel
+    python tools/ci_checks.py fuzz     /tmp/witnesses
+    python tools/ci_checks.py cube     /tmp/cube.json \
+        --expected tests/golden/cube_expected.json --cdf-out /tmp/cdfs.json
+
+Each checker raises :class:`CheckFailure` with a human-readable message
+on violation and returns an ``ok: ...`` summary line on success; the CLI
+prints the summary or the failure and exits 0/1.  Run with
+``PYTHONPATH=src`` — the ``parallel``, ``fuzz`` and ``cube`` checkers
+import :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import List, Optional
+
+
+class CheckFailure(Exception):
+    """A CI validation failed; the message says what and where."""
+
+
+def _load(path: str):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise CheckFailure(f"cannot load {path!r}: {exc}")
+
+
+# ----------------------------------------------------------------------
+# trace-smoke: the Chrome trace export is well-formed
+# ----------------------------------------------------------------------
+def check_trace(path: str) -> str:
+    """Validate a ``python -m repro trace`` Chrome-trace JSON export."""
+    data = _load(path)
+    events = data.get("traceEvents")
+    if not events:
+        raise CheckFailure(f"{path}: trace has no events")
+    real = [e for e in events if e.get("ph") != "M"]
+    if not real:
+        raise CheckFailure(f"{path}: trace has only metadata events")
+    for event in real:
+        if not ("ts" in event and "pid" in event and "tid" in event):
+            raise CheckFailure(f"{path}: malformed event {event!r}")
+    names = [e for e in events if e.get("ph") == "M" and e.get("name") == "thread_name"]
+    if not names:
+        raise CheckFailure(f"{path}: no thread rows")
+    return f"ok: {len(real)} events, {len(names)} thread rows"
+
+
+# ----------------------------------------------------------------------
+# analyze-smoke: baseline leaks, JSKernel doesn't, determinism holds
+# ----------------------------------------------------------------------
+def check_analyze(directory: str) -> str:
+    """Validate the four analyze-smoke reports in ``directory``.
+
+    Expects ``races-baseline.json``, ``races-jskernel.json``,
+    ``determinism-jskernel.json`` and ``determinism-baseline.json`` as
+    written by the analyze-smoke job.
+    """
+    baseline = _load(os.path.join(directory, "races-baseline.json"))
+    if baseline["race_count"] < 1:
+        raise CheckFailure(f"baseline found no races: {baseline['race_count']}")
+    patterns = {
+        race["pattern"] for run in baseline["runs"] for race in run["races"]
+    }
+    if "use-after-free" not in patterns:
+        raise CheckFailure(f"no use-after-free race in baseline; got {sorted(patterns)}")
+
+    kernel = _load(os.path.join(directory, "races-jskernel.json"))
+    if kernel["race_count"] != 0:
+        raise CheckFailure(f"jskernel reported {kernel['race_count']} races (expected 0)")
+
+    det = _load(os.path.join(directory, "determinism-jskernel.json"))
+    if not det["deterministic"] or det["divergence"] != 0:
+        raise CheckFailure(f"jskernel schedule not deterministic: {det}")
+    if det["schedule_length"] <= 0:
+        raise CheckFailure(f"jskernel audit saw an empty schedule: {det}")
+
+    base_det = _load(os.path.join(directory, "determinism-baseline.json"))
+    if base_det["divergence"] <= 0:
+        raise CheckFailure(f"baseline schedule unexpectedly seed-independent: {base_det}")
+
+    return (
+        f"ok: baseline races {baseline['race_count']} | jskernel races 0 | "
+        f"jskernel divergence 0 | baseline divergence {base_det['divergence']}"
+    )
+
+
+# ----------------------------------------------------------------------
+# parallel-smoke: a sharded matrix equals the serial one
+# ----------------------------------------------------------------------
+PARALLEL_ATTACKS = ["cache-attack", "clock-edge", "cve-2018-5092"]
+PARALLEL_DEFENSES = ["legacy-chrome", "deterfox", "jskernel"]
+
+
+def check_parallel(workers: int = 2) -> str:
+    """Run a matrix subset serially and sharded; they must be identical."""
+    from repro.harness import run_table1
+
+    serial = run_table1(attacks=PARALLEL_ATTACKS, defenses=PARALLEL_DEFENSES)
+    sharded = run_table1(
+        attacks=PARALLEL_ATTACKS, defenses=PARALLEL_DEFENSES, parallel=workers
+    )
+    if sharded.matrix != serial.matrix:
+        raise CheckFailure("parallel matrix diverged from the serial run")
+    if sharded.details != serial.details:
+        raise CheckFailure("parallel details diverged from the serial run")
+    if serial.errors or sharded.errors:
+        raise CheckFailure(f"cell errors: {serial.errors + sharded.errors}")
+    cells = len(PARALLEL_ATTACKS) * len(PARALLEL_DEFENSES)
+    return f"ok: {cells} cells identical under --parallel {workers}"
+
+
+# ----------------------------------------------------------------------
+# fuzz-smoke: a witness exists, was minimised, and replays
+# ----------------------------------------------------------------------
+def check_fuzz(directory: str) -> str:
+    """Validate the fuzz-smoke witness directory and replay the first."""
+    from repro.explore import replay_witness
+    from repro.explore.oracles import signature
+
+    paths = sorted(glob.glob(os.path.join(directory, "*.json")))
+    if not paths:
+        raise CheckFailure(f"fuzz campaign produced no witness files in {directory!r}")
+    witness = _load(paths[0])
+    if not witness.get("signature"):
+        raise CheckFailure(f"{paths[0]}: witness has no failure signature")
+    if "minimized" not in witness:
+        raise CheckFailure(f"{paths[0]}: witness was not minimised")
+    stats = witness["minimized"]
+    if stats["atoms_after"] > stats["atoms_before"]:
+        raise CheckFailure(f"{paths[0]}: minimisation grew the witness: {stats}")
+
+    first = replay_witness(witness)
+    second = replay_witness(witness)
+    if first != second:
+        raise CheckFailure("witness replay diverged between runs")
+    if signature(first) != witness["signature"]:
+        raise CheckFailure(
+            f"witness signature drifted: {signature(first)} != {witness['signature']}"
+        )
+    return (
+        f"ok: {len(paths)} witnesses; {paths[0]} replays "
+        f"signature {witness['signature']} twice"
+    )
+
+
+# ----------------------------------------------------------------------
+# cube-smoke: the cube matches the committed expected-verdict fixture
+# ----------------------------------------------------------------------
+def check_cube(
+    path: str,
+    expected_path: str,
+    cdf_out: Optional[str] = None,
+) -> str:
+    """Compare a cube JSON dump against the committed fixture.
+
+    The fixture pins the verdict grid and the pair's verdict-divergent
+    cells — the stable facts; overhead numbers vary with the runner, so
+    only their *presence* is asserted.  ``cdf_out`` extracts the per-cell
+    overhead CDFs into a standalone artifact file.
+    """
+    cube = _load(path)
+    expected = _load(expected_path)
+
+    for axis in ("attacks", "defenses", "pair", "seed"):
+        if cube.get(axis) != expected.get(axis):
+            raise CheckFailure(
+                f"cube {axis} mismatch: {cube.get(axis)!r} != {expected.get(axis)!r}"
+            )
+    if cube["verdicts"] != expected["verdicts"]:
+        drift = [
+            f"{attack} vs {defense}: got {got}, expected "
+            f"{expected['verdicts'][attack][defense]}"
+            for attack, row in cube["verdicts"].items()
+            for defense, got in row.items()
+            if got != expected["verdicts"].get(attack, {}).get(defense)
+        ]
+        raise CheckFailure("verdict drift:\n  " + "\n  ".join(drift))
+
+    want_divergent = [c for c in expected["divergent"] if c["kind"] == "verdict"]
+    have_divergent = [c for c in cube["divergent"] if c["kind"] == "verdict"]
+    if not want_divergent:
+        raise CheckFailure(f"{expected_path}: fixture pins no verdict-divergent cells")
+    if have_divergent != want_divergent:
+        raise CheckFailure(
+            f"divergent cells drifted: {have_divergent!r} != {want_divergent!r}"
+        )
+    if cube.get("errors"):
+        raise CheckFailure(f"cube had cell errors: {cube['errors']}")
+
+    missing = [
+        f"{attack} vs {defense}"
+        for attack, row in cube["overhead"].items()
+        for defense, profile in row.items()
+        if not profile.get("queue_delay", {}).get("cdf")
+    ]
+    if missing:
+        raise CheckFailure("cells missing a queue-delay CDF: " + ", ".join(missing))
+
+    if cdf_out:
+        cdfs = {
+            attack: {
+                defense: {
+                    family: profile[family]
+                    for family in ("queue_delay", "kernel_confirm", "kernel_dispatch")
+                    if family in profile
+                }
+                for defense, profile in row.items()
+            }
+            for attack, row in cube["overhead"].items()
+        }
+        with open(cdf_out, "w", encoding="utf-8") as handle:
+            json.dump(cdfs, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    cells = sum(len(row) for row in cube["verdicts"].values())
+    return (
+        f"ok: {cells} cells match {expected_path}; "
+        f"{len(have_divergent)} verdict-divergent cells pinned"
+        + (f"; wrote {cdf_out}" if cdf_out else "")
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ci_checks", description="CI smoke-job validators"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_trace = sub.add_parser("trace", help="validate a Chrome trace export")
+    p_trace.add_argument("path", help="trace JSON file")
+
+    p_analyze = sub.add_parser("analyze", help="validate the analyze-smoke reports")
+    p_analyze.add_argument("directory", help="directory holding the four reports")
+
+    p_parallel = sub.add_parser("parallel", help="sharded matrix equals serial")
+    p_parallel.add_argument("--workers", type=int, default=2)
+
+    p_fuzz = sub.add_parser("fuzz", help="validate fuzz witnesses and replay one")
+    p_fuzz.add_argument("directory", help="witness directory")
+
+    p_cube = sub.add_parser("cube", help="compare a cube dump against the fixture")
+    p_cube.add_argument("path", help="cube JSON dump")
+    p_cube.add_argument("--expected", required=True, help="committed fixture JSON")
+    p_cube.add_argument("--cdf-out", default=None, help="write overhead CDFs here")
+
+    opts = parser.parse_args(argv)
+    try:
+        if opts.command == "trace":
+            summary = check_trace(opts.path)
+        elif opts.command == "analyze":
+            summary = check_analyze(opts.directory)
+        elif opts.command == "parallel":
+            summary = check_parallel(opts.workers)
+        elif opts.command == "fuzz":
+            summary = check_fuzz(opts.directory)
+        else:
+            summary = check_cube(opts.path, opts.expected, cdf_out=opts.cdf_out)
+    except CheckFailure as exc:
+        print(f"check failed: {exc}", file=sys.stderr)
+        return 1
+    print(summary)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
