@@ -85,6 +85,23 @@ The experiment commands (``matrix``, ``table2``, ``figure2``, ``bench``,
 * ``--no-cache``     — disable the content-addressed result cache
 * ``--cache-dir D``  — cache root (default ``$REPRO_CACHE_DIR`` or
   ``~/.cache/repro-jskernel``)
+
+and the telemetry flags (see ``repro.telemetry``):
+
+* ``--live``             — repaint a stderr progress line while the run
+  executes: cells/sec, cache hit-rate, shard progress, sketch-derived
+  running p50/p95 queue delay, ETA
+* ``--telemetry-out F``  — write the final merged telemetry snapshot as
+  JSON to ``F`` plus a Prometheus text exposition next to it (``.prom``)
+* ``--runlog F``         — structured JSONL run log path (span begin/end,
+  per-cell outcomes, cache hits, shard lifecycle); any telemetry flag
+  implies a run log, defaulting to ``RUN_<command>.jsonl``
+
+Telemetry runs record quantile sketches alongside the exact histograms
+(``cube`` cells gain sketch-derived percentiles in their overhead
+profiles; the sketch mode is part of the cell parameters, so telemetry
+and exact-mode results cache separately and golden fixtures stay
+pinned).
 """
 
 from __future__ import annotations
@@ -522,12 +539,17 @@ def _cmd_cube(args) -> None:
     else:
         defenses = CUBE_DEFENSES
 
+    from .telemetry import current_run
+
     result = run_cube(
         attacks=attacks,
         defenses=defenses,
         seed=seed,
         parallel=parallel,
         cache=cache,
+        # telemetry runs carry sketch-derived percentiles per cell; the
+        # flag is a cell parameter, so the two modes cache separately
+        sketches=current_run() is not None,
     )
     payload = json.dumps(result.to_json(), indent=2, sort_keys=True)
     if out:
@@ -766,6 +788,10 @@ def _run_profiled(command: str, fn, rest) -> None:
         stats.sort_stats("cumulative").print_stats(20)
 
 
+#: Commands the telemetry flags (--live/--telemetry-out/--runlog) apply to.
+TELEMETRY_COMMANDS = ("matrix", "table2", "figure2", "bench", "fuzz", "cube")
+
+
 def main(argv=None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     if not args or args[0] in ("-h", "--help") or args[0] not in COMMANDS:
@@ -775,22 +801,51 @@ def main(argv=None) -> int:
     profile = "--profile" in rest
     if profile:
         rest.remove("--profile")
+    live = "--live" in rest
+    if live:
+        rest.remove("--live")
+    telemetry_out = _flag_value(rest, "--telemetry-out", "")
+    runlog = _flag_value(rest, "--runlog", "")
+    telemetry_on = live or bool(telemetry_out) or bool(runlog)
+    if telemetry_on and command not in TELEMETRY_COMMANDS:
+        _die(
+            "--live/--telemetry-out/--runlog apply to the experiment commands "
+            f"({', '.join(TELEMETRY_COMMANDS)}), not {command!r}"
+        )
     run = COMMANDS[command]
-    if command != "trace" and "--metrics" in rest:
-        rest.remove("--metrics")
-        tracer = Tracer()
-        if profile:
-            with capture(tracer):
-                _run_profiled(command, run, rest)
+
+    def execute() -> None:
+        if command != "trace" and "--metrics" in rest:
+            rest.remove("--metrics")
+            tracer = Tracer()
+            if profile:
+                with capture(tracer):
+                    _run_profiled(command, run, rest)
+            else:
+                with capture(tracer):
+                    run(rest)
+            print()
+            print(tracer.metrics.format())
+        elif profile:
+            _run_profiled(command, run, rest)
         else:
-            with capture(tracer):
-                run(rest)
-        print()
-        print(tracer.metrics.format())
-    elif profile:
-        _run_profiled(command, run, rest)
-    else:
-        run(rest)
+            run(rest)
+
+    if not telemetry_on:
+        execute()
+        return 0
+
+    from .telemetry import render_summary, telemetry_session, write_telemetry
+
+    runlog_path = runlog or f"RUN_{command}.jsonl"
+    with telemetry_session(command, live=live, runlog=runlog_path) as telem:
+        execute()
+    report = telem.report()
+    print(render_summary(report), file=sys.stderr)
+    print(f"wrote {runlog_path}", file=sys.stderr)
+    if telemetry_out:
+        json_path, prom_path = write_telemetry(report, telemetry_out)
+        print(f"wrote {json_path} and {prom_path}", file=sys.stderr)
     return 0
 
 

@@ -27,6 +27,7 @@ from ..analysis.scenario import run_traced_scenario
 from ..harness.parallel import Cell, ExperimentEngine
 from ..runtime.rng import hash_seed
 from ..runtime.simtime import ms
+from ..telemetry.spans import span
 from .oracles import evaluate_divergence, evaluate_run
 from .perturb import DELAY_CHOICES_NS, exempt_label
 
@@ -163,14 +164,15 @@ def run_fuzz_cell(
         perturb_spec, fault_spec = generate_trial(
             attack, defense, seed, index, strategy, labels
         )
-        verdict = evaluate_run(
-            attack,
-            defense,
-            seed,
-            perturb_spec=perturb_spec,
-            fault_spec=fault_spec,
-            check_determinism=check_determinism,
-        )
+        with span("fuzz.trial", attack=attack, defense=defense, trial=index):
+            verdict = evaluate_run(
+                attack,
+                defense,
+                seed,
+                perturb_spec=perturb_spec,
+                fault_spec=fault_spec,
+                check_determinism=check_determinism,
+            )
         outcomes[verdict["outcome"]] = outcomes.get(verdict["outcome"], 0) + 1
         order_violations += verdict["order_violations"]
         if verdict["interesting"]:
@@ -228,9 +230,10 @@ def run_diff_cell(
         perturb_spec, fault_spec = generate_trial(
             attack, pair_key, seed, index, strategy, labels
         )
-        report = evaluate_divergence(
-            attack, defense, vs, seed, perturb_spec=perturb_spec, fault_spec=fault_spec
-        )
+        with span("fuzz.diff_trial", attack=attack, defense=defense, vs=vs, trial=index):
+            report = evaluate_divergence(
+                attack, defense, vs, seed, perturb_spec=perturb_spec, fault_spec=fault_spec
+            )
         if report["divergent"]:
             divergent += 1
             sig = (

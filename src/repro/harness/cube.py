@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..attacks import attack_names
 from ..defenses import CUBE_DEFENSES
+from ..telemetry.spans import span
 from ..trace import Tracer, capture, current_tracer
 from .parallel import Cell, ExperimentEngine
 
@@ -50,9 +51,20 @@ def overhead_profile(snapshot: dict) -> dict:
     Histograms of each family share bucket bounds (the registry
     defaults), so merging is bucket-wise addition; each family becomes a
     CDF over the bucket edges plus count/mean summaries.
+
+    When the snapshot carries quantile sketches (a telemetry run — see
+    :func:`run_cube_cell`'s ``sketches`` flag), each family additionally
+    gets sketch-derived ``p50_ns``/``p95_ns``/``p99_ns`` and the
+    serialized sketch itself, so campaign-level percentiles can be
+    merged from cell payloads without any raw sample list.  In the
+    default exact mode the output is unchanged — the committed golden
+    cube fixtures stay pinned.
     """
+    from ..telemetry.sketch import QuantileSketch
+
     profile: dict = {}
     histograms = snapshot.get("histograms", {})
+    sketches = snapshot.get("sketches", {})
     for prefix, key in OVERHEAD_FAMILIES:
         merged: Optional[dict] = None
         for name in sorted(histograms):
@@ -86,6 +98,23 @@ def overhead_profile(snapshot: dict) -> dict:
             "mean_ns": merged["sum"] / merged["count"],
             "cdf": cdf,
         }
+        family_sketch: Optional[QuantileSketch] = None
+        for name in sorted(sketches):
+            if not name.startswith(prefix):
+                continue
+            data = sketches[name]
+            if data["count"] == 0:
+                continue
+            if family_sketch is None:
+                family_sketch = QuantileSketch(
+                    accuracy=data["accuracy"], max_centroids=data["max_centroids"]
+                )
+            family_sketch.merge(data)
+        if family_sketch is not None:
+            profile[key]["p50_ns"] = family_sketch.quantile(0.5)
+            profile[key]["p95_ns"] = family_sketch.quantile(0.95)
+            profile[key]["p99_ns"] = family_sketch.quantile(0.99)
+            profile[key]["sketch"] = family_sketch.to_dict()
     counters = snapshot.get("counters", {})
     profile["tasks"] = sum(
         value for name, value in counters.items() if name.startswith("eventloop.tasks.")
@@ -98,17 +127,35 @@ def overhead_profile(snapshot: dict) -> dict:
     return profile
 
 
-def run_cube_cell(attack: str, defense: str, seed: int = 0) -> dict:
-    """One cube cell: verdict + overhead profile under a private tracer."""
+def run_cube_cell(attack: str, defense: str, seed: int = 0, sketches: bool = False) -> dict:
+    """One cube cell: verdict + overhead profile under a private tracer.
+
+    ``sketches`` turns on quantile-sketch recording for the cell's
+    histograms (telemetry mode).  It is an explicit parameter — never
+    inferred from ambient state — so the payload stays a pure function
+    of the cell parameters and the result cache can key on it; the
+    default (exact mode) payload is byte-identical to pre-telemetry
+    runs, keeping golden fixtures and warm caches valid.
+
+    The cell's private metrics snapshot is folded into the ambient
+    tracer afterwards, so engine-level captures (``--metrics``,
+    telemetry runs) see the event-loop and kernel metrics the cell
+    produced.
+    """
     from ..attacks import create as create_attack
 
     tracer = Tracer(enabled=True)
+    tracer.metrics.sketch_observations = bool(sketches)
     with capture(tracer):
         result = create_attack(attack).run(defense, seed=seed)
+    snapshot = tracer.metrics.snapshot()
+    ambient = current_tracer()
+    if ambient.enabled:
+        ambient.metrics.merge_snapshot(snapshot)
     return {
         "defended": result.defended,
         "detail": result.detail,
-        "overhead": overhead_profile(tracer.metrics.snapshot()),
+        "overhead": overhead_profile(snapshot),
     }
 
 
@@ -136,6 +183,9 @@ class CubeResult:
         self.errors: List[str] = []
         self.computed_cells = 0
         self.cached_cells = 0
+        #: Campaign-wide queue-delay sketch (dict form), telemetry runs
+        #: only — merged from per-cell sketches, never raw samples.
+        self.queue_delay_sketch: Optional[dict] = None
 
     # ------------------------------------------------------------------
     def divergent_cells(
@@ -232,8 +282,13 @@ class CubeResult:
         return "\n".join(lines)
 
     def to_json(self) -> dict:
-        """JSON-ready dump (the ``--json`` payload and CI artifact)."""
-        return {
+        """JSON-ready dump (the ``--json`` payload and CI artifact).
+
+        The ``queue_delay`` campaign summary appears only on telemetry
+        (``sketches=True``) runs, so default payloads — and the golden
+        fixture built from them — are unchanged.
+        """
+        payload = {
             "attacks": self.attacks,
             "defenses": self.defenses,
             "seed": self.seed,
@@ -246,6 +301,16 @@ class CubeResult:
             "computed_cells": self.computed_cells,
             "cached_cells": self.cached_cells,
         }
+        if self.queue_delay_sketch is not None:
+            from ..telemetry.sketch import QuantileSketch
+
+            sketch = QuantileSketch.from_dict(self.queue_delay_sketch)
+            payload["queue_delay"] = {
+                "quantiles_ns": sketch.quantiles(),
+                "count": sketch.count,
+                "sketch": self.queue_delay_sketch,
+            }
+        return payload
 
 
 def run_cube(
@@ -255,6 +320,7 @@ def run_cube(
     parallel: Optional[int] = None,
     cache=None,
     pair: Tuple[str, str] = CUBE_PAIR,
+    sketches: bool = False,
 ) -> CubeResult:
     """Evaluate the defense × attack cube.
 
@@ -263,16 +329,23 @@ def run_cube(
     Each cell is a pure function of ``(attack, defense, seed)`` and runs
     on the sharded engine, so ``parallel``/``cache`` behave exactly as
     they do for :func:`~repro.harness.matrix.run_table1`.
+
+    ``sketches=True`` (telemetry mode) records per-cell quantile
+    sketches and aggregates a campaign-wide queue-delay sketch; the flag
+    becomes part of each cell's parameters **only when set**, so default
+    cells keep their pre-telemetry cache keys and golden payloads.
     """
     attacks = list(attacks or attack_names())
     defenses = list(defenses or CUBE_DEFENSES)
+    extra = {"sketches": True} if sketches else {}
     cells = [
-        Cell("cube", {"attack": attack, "defense": defense, "seed": seed})
+        Cell("cube", {"attack": attack, "defense": defense, "seed": seed, **extra})
         for attack in attacks
         for defense in defenses
     ]
     engine = ExperimentEngine(workers=parallel, cache=cache)
-    results = engine.run(cells)
+    with span("cube.run", cells=len(cells), seed=seed):
+        results = engine.run(cells)
 
     outcome = CubeResult(attacks, defenses, seed, pair=pair)
     for attack in attacks:
@@ -294,6 +367,24 @@ def run_cube(
             outcome.errors.append(f"{attack} vs {defense}: {result.error}")
     outcome.computed_cells = engine.computed
     outcome.cached_cells = engine.cache_hits
+
+    if sketches:
+        from ..telemetry.sketch import QuantileSketch
+
+        campaign: Optional[QuantileSketch] = None
+        for result in results:
+            if not result.ok:
+                continue
+            data = result.payload["overhead"].get("queue_delay", {}).get("sketch")
+            if not data or data["count"] == 0:
+                continue
+            if campaign is None:
+                campaign = QuantileSketch(
+                    accuracy=data["accuracy"], max_centroids=data["max_centroids"]
+                )
+            campaign.merge(data)
+        if campaign is not None:
+            outcome.queue_delay_sketch = campaign.to_dict()
 
     tracer = current_tracer()
     if tracer.enabled:

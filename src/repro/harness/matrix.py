@@ -8,6 +8,7 @@ from ..analysis.tables import render_matrix
 from ..attacks import attack_names
 from ..attacks.expected import expected_matrix
 from ..defenses import TABLE1_DEFENSES
+from ..telemetry.spans import span
 from ..trace import current_tracer
 from .parallel import Cell, ExperimentEngine
 
@@ -120,7 +121,8 @@ def run_table1(
         for defense in defenses
     ]
     engine = ExperimentEngine(workers=parallel, cache=cache)
-    results = engine.run(cells)
+    with span("matrix.run", cells=len(cells), seed=seed):
+        results = engine.run(cells)
 
     matrix: Dict[str, Dict[str, bool]] = {attack: {} for attack in attacks}
     details: Dict[str, Dict[str, str]] = {attack: {} for attack in attacks}

@@ -42,6 +42,8 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..telemetry.run import RunTelemetry, current_run
+from ..telemetry.spans import set_recorder, worker_recorder
 from ..trace import Tracer, capture, current_tracer
 from .cache import ResultCache, as_cache
 
@@ -168,11 +170,11 @@ def _run_fuzz_diff_cell(**params) -> dict:
 
 
 @cell_kind("cube")
-def _run_cube_cell(attack: str, defense: str, seed: int) -> dict:
+def _run_cube_cell(attack: str, defense: str, seed: int, sketches: bool = False) -> dict:
     """One defense × attack cube cell: verdict + overhead profile."""
     from ..harness.cube import run_cube_cell
 
-    return run_cube_cell(attack, defense, seed=seed)
+    return run_cube_cell(attack, defense, seed=seed, sketches=sketches)
 
 
 # ----------------------------------------------------------------------
@@ -206,20 +208,47 @@ def _run_cell(spec: Tuple[str, Dict[str, Any]]) -> dict:
 
 
 def _run_chunk(
-    batch: Tuple[List[Tuple[str, Dict[str, Any]]], bool],
+    batch: Tuple[List[Tuple[str, Dict[str, Any]]], bool, bool, int],
 ) -> Tuple[List[dict], Optional[dict]]:
     """Worker entry point: run a contiguous chunk of cell specs.
 
     When ``collect_metrics`` is set the chunk runs under a private
-    tracer and the metrics snapshot rides back with the results.
+    tracer and the metrics snapshot rides back with the results.  When
+    ``collect_telemetry`` is set the tracer also records quantile
+    sketches, and the worker appends its shard lifecycle and per-cell
+    outcomes to the shared run log (the path rides in through
+    ``$REPRO_RUNLOG``).
     """
-    specs, collect_metrics = batch
-    if collect_metrics:
-        tracer = Tracer(enabled=True)
+    specs, collect_metrics, collect_telemetry, shard = batch
+    recorder = None
+    if collect_telemetry:
+        recorder = worker_recorder()
+        if recorder is not None:
+            set_recorder(recorder)  # reuse the handle across chunks
+
+    def execute() -> List[dict]:
+        results = []
+        for spec in specs:
+            outcome = _run_cell(spec)
+            if recorder is not None:
+                recorder.point(
+                    "engine.cell", kind=spec[0], ok=outcome["ok"], cached=False
+                )
+            results.append(outcome)
+        return results
+
+    if not collect_metrics:
+        return execute(), None
+    tracer = Tracer(enabled=True)
+    tracer.metrics.sketch_observations = collect_telemetry
+    if recorder is not None:
+        with recorder.span("engine.shard", shard=shard, cells=len(specs)):
+            with capture(tracer):
+                results = execute()
+    else:
         with capture(tracer):
-            results = [_run_cell(spec) for spec in specs]
-        return results, tracer.metrics.snapshot()
-    return [_run_cell(spec) for spec in specs], None
+            results = execute()
+    return results, tracer.metrics.snapshot()
 
 
 # ----------------------------------------------------------------------
@@ -252,11 +281,19 @@ class ExperimentEngine:
     def run(self, cells: Sequence[Cell]) -> List[CellResult]:
         """Execute every cell; results come back in submission order."""
         cells = list(cells)
+        telem = current_run()
         results: List[Optional[CellResult]] = [None] * len(cells)
         # counters accumulate across run() calls; metrics report deltas
         computed_before = self.computed
         cache_hits_before = self.cache_hits
         errors_before = self.errors
+        cache_before = (
+            (self.cache.hits, self.cache.misses, self.cache.stores)
+            if self.cache is not None
+            else None
+        )
+        if telem is not None:
+            telem.engine_run_started(len(cells), self.workers)
 
         pending: List[Tuple[int, Cell]] = []
         keys: Dict[int, str] = {}
@@ -268,14 +305,17 @@ class ExperimentEngine:
                 if entry is not None:
                     self.cache_hits += 1
                     results[index] = CellResult(cell, payload=entry["payload"], cached=True)
+                    if telem is not None:
+                        telem.cell_finished(cell, ok=True, cached=True)
                     continue
             pending.append((index, cell))
 
         if pending:
+            pending_cells = [cell for _i, cell in pending]
             if self.workers > 1:
-                raw = self._run_pool([cell for _i, cell in pending])
+                raw = self._iter_pool(pending_cells, telem)
             else:
-                raw = [_run_cell((cell.kind, cell.params)) for _i, cell in pending]
+                raw = self._iter_serial(pending_cells, telem)
             for (index, cell), outcome in zip(pending, raw):
                 self.computed += 1
                 if outcome["ok"]:
@@ -286,6 +326,16 @@ class ExperimentEngine:
                     self.errors += 1
                     result = CellResult(cell, error=outcome["error"])
                 results[index] = result
+                if telem is not None:
+                    # the worker (parallel) or the serial loop's span
+                    # already logged this cell; just account and repaint
+                    telem.cell_finished(
+                        cell,
+                        ok=outcome["ok"],
+                        cached=False,
+                        error=outcome["error"],
+                        emit=self.workers <= 1,
+                    )
 
         tracer = current_tracer()
         if tracer.enabled:
@@ -297,30 +347,89 @@ class ExperimentEngine:
             metrics.counter("engine.cache_hits").inc(self.cache_hits - cache_hits_before)
             if self.errors > errors_before:
                 metrics.counter("engine.errors").inc(self.errors - errors_before)
+        if telem is not None and cache_before is not None:
+            # mirror the ResultCache's own traffic counters (delta for
+            # this run) into the snapshot's dedicated cache section —
+            # the cache.* counters in the ambient registry stay where
+            # they are, and the telemetry metrics section never carries
+            # them, so nothing is double-counted
+            telem.record_cache_traffic(
+                self.cache.hits - cache_before[0],
+                self.cache.misses - cache_before[1],
+                self.cache.stores - cache_before[2],
+            )
 
         return [result for result in results if result is not None]
 
     # ------------------------------------------------------------------
-    def _run_pool(self, cells: List[Cell]) -> List[dict]:
-        """Chunked dispatch over a process pool, metrics merged in order."""
+    def _iter_serial(self, cells: List[Cell], telem: Optional[RunTelemetry]):
+        """In-process execution, yielding outcomes one cell at a time.
+
+        Without telemetry this is the historical serial path: cells run
+        directly under the ambient tracer capture.  With telemetry each
+        cell runs under a private sketch-recording tracer whose snapshot
+        is folded into the telemetry metric set *and* the ambient tracer
+        — the same merge semantics as a pool worker, so serial and
+        parallel telemetry snapshots are byte-identical (trace *events*
+        are not collected in telemetry mode, matching the pool).
+        """
+        for cell in cells:
+            spec = (cell.kind, cell.params)
+            if telem is None:
+                yield _run_cell(spec)
+                continue
+            tracer = Tracer(enabled=True)
+            tracer.metrics.sketch_observations = True
+            recorder = telem.recorder
+            if recorder is not None:
+                with recorder.span("engine.cell.run", kind=cell.kind):
+                    with capture(tracer):
+                        outcome = _run_cell(spec)
+            else:
+                with capture(tracer):
+                    outcome = _run_cell(spec)
+            snapshot = tracer.metrics.snapshot()
+            telem.merge_metrics(snapshot)
+            ambient = current_tracer()
+            if ambient.enabled:
+                ambient.metrics.merge_snapshot(snapshot)
+            yield outcome
+
+    def _iter_pool(self, cells: List[Cell], telem: Optional[RunTelemetry]):
+        """Chunked pool dispatch, yielding outcomes in submission order.
+
+        Per-chunk metrics snapshots merge back in chunk order (both into
+        the ambient tracer and the telemetry run), which keeps parallel
+        runs metric-identical to serial ones regardless of completion
+        order.
+        """
         tracer = current_tracer()
-        collect_metrics = tracer.enabled
+        collect_telemetry = telem is not None
+        collect_metrics = tracer.enabled or collect_telemetry
         specs = [(cell.kind, cell.params) for cell in cells]
         chunk = self.chunk_size or max(1, math.ceil(len(specs) / (self.workers * 4)))
         batches = [
-            (specs[start : start + chunk], collect_metrics)
-            for start in range(0, len(specs), chunk)
+            (specs[start : start + chunk], collect_metrics, collect_telemetry, shard)
+            for shard, start in enumerate(range(0, len(specs), chunk))
         ]
-        outcomes: List[dict] = []
+        if telem is not None:
+            telem.shards_planned(len(batches))
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             # pool.map preserves batch order, which keeps result assembly
             # and metrics merging deterministic regardless of completion
             # order
-            for chunk_results, snapshot in pool.map(_run_chunk, batches):
-                outcomes.extend(chunk_results)
+            for shard, (chunk_results, snapshot) in enumerate(
+                pool.map(_run_chunk, batches)
+            ):
                 if snapshot is not None:
-                    tracer.metrics.merge_snapshot(snapshot)
-        return outcomes
+                    if tracer.enabled:
+                        tracer.metrics.merge_snapshot(snapshot)
+                    if telem is not None:
+                        telem.merge_metrics(snapshot)
+                if telem is not None:
+                    telem.shard_done(shard, len(chunk_results))
+                for outcome in chunk_results:
+                    yield outcome
 
 
 def run_cells(

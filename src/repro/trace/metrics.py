@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
+from ..telemetry.sketch import QuantileSketch
+
 #: Default buckets for queueing-delay style histograms, in virtual ns
 #: (1 µs, 10 µs, 100 µs, 1 ms, 10 ms, 100 ms).
 QUEUE_DELAY_BUCKETS_NS: Tuple[int, ...] = (
@@ -62,12 +64,21 @@ class Gauge:
 class Histogram:
     """Fixed-bucket histogram.
 
-    ``bounds`` are upper bucket edges (inclusive); a value larger than the
-    last bound lands in the overflow bucket, so ``counts`` always has
-    ``len(bounds) + 1`` entries.
+    Bucket-edge convention: ``bounds`` are **inclusive upper edges**, so
+    bucket ``i`` counts values ``v`` with ``bounds[i-1] < v <= bounds[i]``
+    (the first bucket has no lower edge).  A value strictly larger than
+    the last bound lands in the **overflow bucket**: ``counts`` always has
+    ``len(bounds) + 1`` entries and ``counts[-1]`` is the overflow count.
+    Snapshots export that overflow count explicitly (the ``overflow``
+    key), matching Prometheus's ``+Inf`` bucket minus the last finite one.
+
+    A :class:`~repro.telemetry.sketch.QuantileSketch` can be attached as
+    ``sketch``; :meth:`record` then tees every observation into it, which
+    is how telemetry runs capture full-fidelity quantiles at existing
+    recording sites without a second instrumentation pass.
     """
 
-    __slots__ = ("bounds", "counts", "total", "count", "min", "max")
+    __slots__ = ("bounds", "counts", "total", "count", "min", "max", "sketch")
 
     def __init__(self, bounds: Sequence[int]):
         if not bounds or list(bounds) != sorted(bounds):
@@ -78,6 +89,7 @@ class Histogram:
         self.count = 0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.sketch: Optional[QuantileSketch] = None
 
     def record(self, value: float) -> None:
         """Record one observation."""
@@ -91,15 +103,29 @@ class Histogram:
         self.count += 1
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        if self.sketch is not None:
+            self.sketch.add(value)
 
 
 class MetricsRegistry:
-    """Name-keyed store of counters, gauges and histograms."""
+    """Name-keyed store of counters, gauges, histograms and sketches.
+
+    Setting :attr:`sketch_observations` **before** recording makes every
+    histogram tee its observations into an attached
+    :class:`~repro.telemetry.sketch.QuantileSketch`; the sketches then
+    ride along in :meth:`snapshot` (a ``"sketches"`` section, present
+    only when non-empty so non-telemetry snapshots are unchanged) and
+    fold through :meth:`merge_snapshot` like every other metric.
+    """
 
     def __init__(self):
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._sketches: Dict[str, QuantileSketch] = {}
+        #: When true, histograms created (or first touched) afterwards
+        #: record into an attached quantile sketch as well.
+        self.sketch_observations = False
 
     # ------------------------------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -125,18 +151,29 @@ class MetricsRegistry:
         histogram = self._histograms.get(name)
         if histogram is None:
             histogram = self._histograms[name] = Histogram(bounds)
+        if self.sketch_observations and histogram.sketch is None:
+            histogram.sketch = self._sketches.setdefault(name, QuantileSketch())
         return histogram
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, dict]:
-        """Plain-dict dump of every metric, keys sorted for determinism."""
-        return {
+        """Plain-dict dump of every metric, keys sorted for determinism.
+
+        Histogram entries carry ``counts`` (``len(bounds) + 1`` buckets,
+        inclusive upper edges) plus an explicit ``overflow`` — the count
+        of values above the last bound, i.e. the ``+Inf`` bucket minus
+        the last finite one — so JSON consumers never have to know the
+        implicit-last-bucket convention.  A ``"sketches"`` section is
+        present only when quantile sketches were recorded or merged.
+        """
+        snap = {
             "counters": {name: c.value for name, c in sorted(self._counters.items())},
             "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
             "histograms": {
                 name: {
                     "bounds": list(h.bounds),
                     "counts": list(h.counts),
+                    "overflow": h.counts[-1],
                     "sum": h.total,
                     "count": h.count,
                     "min": h.min,
@@ -145,6 +182,12 @@ class MetricsRegistry:
                 for name, h in sorted(self._histograms.items())
             },
         }
+        if self._sketches:
+            snap["sketches"] = {
+                name: self._sketches[name].to_dict()
+                for name in sorted(self._sketches)
+            }
+        return snap
 
     def merge_snapshot(self, snapshot: Dict[str, dict]) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
@@ -179,6 +222,12 @@ class MetricsRegistry:
                 histogram.max = (
                     data["max"] if histogram.max is None else max(histogram.max, data["max"])
                 )
+        for name, data in snapshot.get("sketches", {}).items():
+            sketch = self._sketches.get(name)
+            if sketch is None:
+                self._sketches[name] = QuantileSketch.from_dict(data)
+            else:
+                sketch.merge(data)
 
     def format(self) -> str:
         """Human-readable metrics summary (CLI ``--metrics`` output)."""
@@ -206,4 +255,17 @@ class MetricsRegistry:
                 )
                 if buckets:
                     lines.append(f"    {buckets}")
+        if snap.get("sketches"):
+            lines.append("sketches:")
+            for name, data in snap["sketches"].items():
+                sketch = QuantileSketch.from_dict(data)
+                quantiles = " ".join(
+                    f"{label}={value:.0f}"
+                    for label, value in sketch.quantiles().items()
+                    if value is not None
+                )
+                lines.append(
+                    f"  {name:48s} n={sketch.count} "
+                    f"centroids={sketch.centroid_count()} {quantiles}"
+                )
         return "\n".join(lines) if lines else "(no metrics recorded)"

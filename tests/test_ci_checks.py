@@ -260,6 +260,173 @@ def test_check_cube_requires_the_fixture_to_pin_divergence(tmp_path):
         check_cube(cube, expected)
 
 
+# ----------------------------------------------------------------------
+# runlog / telemetry (the telemetry-smoke job's validators)
+# ----------------------------------------------------------------------
+def runlog_lines():
+    """A minimal healthy run log: begin, one spanned cell, end."""
+    return [
+        {"ev": "run_begin", "ts": 1.0, "pid": 7, "command": "cube"},
+        {"ev": "span_begin", "ts": 1.1, "pid": 7, "span": 1, "name": "engine.shard"},
+        {"ev": "point", "ts": 1.2, "pid": 7, "name": "engine.cell", "attrs": {"ok": True}},
+        {"ev": "span_end", "ts": 1.3, "pid": 7, "span": 1, "name": "engine.shard", "dur_s": 0.2},
+        {"ev": "run_end", "ts": 1.4, "pid": 7, "cells": 1},
+    ]
+
+
+def write_runlog(path, records):
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+    return str(path)
+
+
+def test_check_runlog_accepts_a_balanced_log(tmp_path):
+    path = write_runlog(tmp_path / "run.jsonl", runlog_lines())
+    assert (
+        ci_checks.check_runlog(path)
+        == "ok: 5 records, 1 spans balanced, 1 cell outcomes across 1 processes"
+    )
+
+
+@pytest.mark.parametrize(
+    "mutate, fragment",
+    [
+        (lambda lines: lines[:-1], "no run_end"),
+        (lambda lines: [l for l in lines if l["ev"] != "run_begin"], "no run_begin"),
+        (lambda lines: [l for l in lines if l["ev"] != "span_end"], "unclosed spans"),
+        (lambda lines: [l for l in lines if l["ev"] != "point"], "no engine.cell"),
+        (lambda lines: [dict(l, span=9) if l["ev"] == "span_end" else l for l in lines],
+         "span_end without begin"),
+        (lambda lines: [{k: v for k, v in l.items() if k != "dur_s"} for l in lines],
+         "without dur_s"),
+        (lambda lines: [{k: v for k, v in l.items() if k != "pid"} for l in lines],
+         "missing 'pid'"),
+        (lambda lines: [], "empty"),
+    ],
+)
+def test_check_runlog_rejects_malformed_logs(tmp_path, mutate, fragment):
+    path = write_runlog(tmp_path / "run.jsonl", mutate(runlog_lines()))
+    with pytest.raises(CheckFailure, match=fragment):
+        ci_checks.check_runlog(path)
+
+
+def test_check_runlog_rejects_non_json_lines(tmp_path):
+    path = tmp_path / "run.jsonl"
+    path.write_text("this is not json\n")
+    with pytest.raises(CheckFailure, match="not JSON"):
+        ci_checks.check_runlog(str(path))
+
+
+def telemetry_report():
+    return {
+        "version": 1,
+        "command": "cube",
+        "engine": {"runs": 1, "cells": 3, "computed": 2, "cached": 1, "errors": 0},
+        "cache": {"hits": 1, "misses": 2, "stores": 2},
+        "metrics": {
+            "counters": {"eventloop.tasks.script": 5},
+            "gauges": {},
+            "histograms": {
+                "h": {
+                    "bounds": [10, 100],
+                    "counts": [1, 2, 0],
+                    "sum": 60,
+                    "count": 3,
+                    "min": 5,
+                    "max": 60,
+                }
+            },
+            "sketches": {
+                "s": {
+                    "accuracy": 0.005,
+                    "max_centroids": 4096,
+                    "count": 3,
+                    "sum": 30,
+                    "min": 0,
+                    "max": 20,
+                    "zero": 1,
+                    "neg": [],
+                    "pos": [[231, 1, 10], [300, 1, 20]],
+                }
+            },
+        },
+        "run": {"duration_s": 0.5, "cells_per_s": 6.0},
+    }
+
+
+def test_check_telemetry_accepts_a_valid_report(tmp_path):
+    path = write(tmp_path / "telemetry.json", telemetry_report())
+    assert ci_checks.check_telemetry(path) == (
+        "ok: 3 cells (2 computed, 1 cached), 1 histograms, 1 sketches"
+    )
+
+
+@pytest.mark.parametrize(
+    "mutate, fragment",
+    [
+        (lambda r: {k: v for k, v in r.items() if k != "run"}, "missing section 'run'"),
+        (lambda r: dict(r, engine=dict(r["engine"], cells=9)), "does not balance"),
+        (
+            lambda r: dict(
+                r, metrics={k: v for k, v in r["metrics"].items() if k != "counters"}
+            ),
+            "missing 'counters'",
+        ),
+        (
+            lambda r: dict(
+                r,
+                metrics={
+                    **r["metrics"],
+                    "histograms": {"h": dict(r["metrics"]["histograms"]["h"], counts=[1])},
+                },
+            ),
+            "length mismatch",
+        ),
+        (
+            lambda r: dict(
+                r,
+                metrics={
+                    **r["metrics"],
+                    "sketches": {"s": dict(r["metrics"]["sketches"]["s"], zero=5)},
+                },
+            ),
+            "do not sum to count",
+        ),
+    ],
+)
+def test_check_telemetry_rejects_schema_drift(tmp_path, mutate, fragment):
+    path = write(tmp_path / "telemetry.json", mutate(telemetry_report()))
+    with pytest.raises(CheckFailure, match=fragment):
+        ci_checks.check_telemetry(path)
+
+
+def test_check_telemetry_validates_the_prometheus_sibling(tmp_path):
+    json_path = write(tmp_path / "telemetry.json", telemetry_report())
+    prom = tmp_path / "telemetry.prom"
+    prom.write_text(
+        "# HELP repro_engine_cells cells\n"
+        "# TYPE repro_engine_cells counter\n"
+        "repro_engine_cells 3\n"
+        'repro_h_bucket{le="10.0"} 1\n'
+    )
+    assert ci_checks.check_telemetry(json_path, str(prom)).endswith(
+        "; 2 Prometheus samples"
+    )
+
+    prom.write_text("repro_engine_cells 3\nthis line === is not exposition\n")
+    with pytest.raises(CheckFailure, match="bad exposition line"):
+        ci_checks.check_telemetry(json_path, str(prom))
+
+    prom.write_text("repro_other 1\n")
+    with pytest.raises(CheckFailure, match="repro_engine_cells series missing"):
+        ci_checks.check_telemetry(json_path, str(prom))
+
+    prom.write_text("# only comments\n")
+    with pytest.raises(CheckFailure, match="no samples"):
+        ci_checks.check_telemetry(json_path, str(prom))
+
+
 def test_committed_fixture_satisfies_the_gate_requirements():
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     path = os.path.join(root, "tests", "golden", "cube_expected.json")

@@ -131,6 +131,49 @@ def test_registry_snapshot_is_plain_json_serialisable_data():
     json.dumps(snap)  # embeds in harness payloads without custom encoders
 
 
+def test_snapshot_exports_the_overflow_bucket_explicitly():
+    registry = MetricsRegistry()
+    h = registry.histogram("h", (10, 100))
+    h.record(5)
+    h.record(50)
+    h.record(101)
+    h.record(10**9)
+    snap = registry.snapshot()["histograms"]["h"]
+    # counts has one more entry than bounds (the implicit last bucket),
+    # and the overflow key names that last entry so consumers never have
+    # to know the convention
+    assert len(snap["counts"]) == len(snap["bounds"]) + 1
+    assert snap["counts"] == [1, 1, 2]
+    assert snap["overflow"] == 2
+    assert snap["overflow"] == snap["counts"][-1]
+
+
+def test_sketch_observations_tee_histograms_into_sketches():
+    registry = MetricsRegistry()
+    registry.sketch_observations = True
+    h = registry.histogram("lat", (10, 100))
+    for value in (1, 7, 120, 120):
+        h.record(value)
+    registry.histogram("lat", (10, 100))  # same histogram, same sketch
+    snap = registry.snapshot()
+    sketch = snap["sketches"]["lat"]
+    assert sketch["count"] == 4
+    assert sketch["sum"] == 248
+    # the histogram itself is unchanged by the tee
+    assert snap["histograms"]["lat"]["count"] == 4
+
+    # merging a snapshot that carries sketches folds them in
+    other = MetricsRegistry()
+    other.merge_snapshot(snap)
+    other.merge_snapshot(snap)
+    assert other.snapshot()["sketches"]["lat"]["count"] == 8
+
+    # without the opt-in flag no sketch is attached and none exported
+    plain = MetricsRegistry()
+    plain.histogram("lat", (10, 100)).record(1)
+    assert "sketches" not in plain.snapshot()
+
+
 # ----------------------------------------------------------------------
 # Chrome-trace export
 # ----------------------------------------------------------------------

@@ -25,6 +25,7 @@ import argparse
 import glob
 import json
 import os
+import re
 import sys
 from typing import List, Optional
 
@@ -238,6 +239,151 @@ def check_cube(
 
 
 # ----------------------------------------------------------------------
+# telemetry-smoke: the JSONL run log is well-formed and balanced
+# ----------------------------------------------------------------------
+def check_runlog(path: str) -> str:
+    """Validate a ``--runlog`` JSONL run log.
+
+    Every line must parse as a JSON object with ``ev``/``ts``/``pid``;
+    the log must open with ``run_begin`` and close with ``run_end``;
+    span begin/end records must balance per ``(pid, span)``; and at
+    least one per-cell outcome (``engine.cell`` point) must appear.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as exc:
+        raise CheckFailure(f"cannot read {path!r}: {exc}")
+    if not lines:
+        raise CheckFailure(f"{path}: run log is empty")
+
+    records = []
+    for number, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise CheckFailure(f"{path}:{number}: not JSON: {exc}")
+        if not isinstance(record, dict):
+            raise CheckFailure(f"{path}:{number}: record is not an object")
+        for key in ("ev", "ts", "pid"):
+            if key not in record:
+                raise CheckFailure(f"{path}:{number}: record missing {key!r}")
+        records.append(record)
+
+    events = [record["ev"] for record in records]
+    if "run_begin" not in events:
+        raise CheckFailure(f"{path}: no run_begin record")
+    if "run_end" not in events:
+        raise CheckFailure(f"{path}: no run_end record (session did not close)")
+
+    open_spans = {}
+    spans = 0
+    for record in records:
+        if record["ev"] == "span_begin":
+            open_spans[(record["pid"], record["span"])] = record.get("name")
+            spans += 1
+        elif record["ev"] == "span_end":
+            key = (record["pid"], record["span"])
+            if key not in open_spans:
+                raise CheckFailure(f"{path}: span_end without begin: {record}")
+            if "dur_s" not in record:
+                raise CheckFailure(f"{path}: span_end without dur_s: {record}")
+            del open_spans[key]
+    if open_spans:
+        dangling = sorted(f"{name} pid={pid} span={span}" for (pid, span), name in open_spans.items())
+        raise CheckFailure(f"{path}: unclosed spans: " + ", ".join(dangling))
+
+    cell_points = sum(
+        1
+        for record in records
+        if record["ev"] == "point" and record.get("name") == "engine.cell"
+    )
+    if cell_points == 0:
+        raise CheckFailure(f"{path}: no engine.cell outcome records")
+
+    pids = {record["pid"] for record in records}
+    return (
+        f"ok: {len(records)} records, {spans} spans balanced, "
+        f"{cell_points} cell outcomes across {len(pids)} processes"
+    )
+
+
+# ----------------------------------------------------------------------
+# telemetry-smoke: the merged snapshot and Prometheus export make sense
+# ----------------------------------------------------------------------
+def check_telemetry(json_path: str, prom_path: Optional[str] = None) -> str:
+    """Validate a ``--telemetry-out`` JSON report (+ Prometheus sibling).
+
+    Schema checks: version/command/engine/cache/metrics/run sections;
+    the engine accounting must balance (``cells == computed + cached``);
+    histogram snapshots must carry the explicit ``overflow`` key.  When
+    ``prom_path`` is given, every non-comment line must match the
+    ``name{labels} value`` exposition grammar and the ``repro_engine_*``
+    series must be present.
+    """
+    report = _load(json_path)
+    for section in ("version", "command", "engine", "cache", "metrics", "run"):
+        if section not in report:
+            raise CheckFailure(f"{json_path}: missing section {section!r}")
+    engine = report["engine"]
+    for key in ("cells", "computed", "cached", "errors"):
+        if key not in engine:
+            raise CheckFailure(f"{json_path}: engine section missing {key!r}")
+    if engine["cells"] != engine["computed"] + engine["cached"]:
+        raise CheckFailure(
+            f"{json_path}: engine accounting does not balance: "
+            f"cells={engine['cells']} != computed={engine['computed']} "
+            f"+ cached={engine['cached']}"
+        )
+    metrics = report["metrics"]
+    for section in ("counters", "gauges", "histograms"):
+        if section not in metrics:
+            raise CheckFailure(f"{json_path}: metrics section missing {section!r}")
+    for name, data in metrics["histograms"].items():
+        if len(data.get("counts", [])) != len(data.get("bounds", [])) + 1:
+            raise CheckFailure(
+                f"{json_path}: histogram {name!r} counts/bounds length mismatch"
+            )
+    for name, data in metrics.get("sketches", {}).items():
+        if data["count"] < 0 or data["count"] != (
+            data["zero"]
+            + sum(weight for _i, weight, _s in data["pos"])
+            + sum(weight for _i, weight, _s in data["neg"])
+        ):
+            raise CheckFailure(f"{json_path}: sketch {name!r} weights do not sum to count")
+
+    summary = (
+        f"ok: {engine['cells']} cells ({engine['computed']} computed, "
+        f"{engine['cached']} cached), {len(metrics['histograms'])} histograms, "
+        f"{len(metrics.get('sketches', {}))} sketches"
+    )
+    if not prom_path:
+        return summary
+
+    try:
+        with open(prom_path, "r", encoding="utf-8") as handle:
+            prom_lines = handle.read().splitlines()
+    except OSError as exc:
+        raise CheckFailure(f"cannot read {prom_path!r}: {exc}")
+    sample_re = re.compile(
+        r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+        r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? -?[0-9eE.+NaInf-]+$'
+    )
+    samples = 0
+    for number, line in enumerate(prom_lines, start=1):
+        if not line or line.startswith("#"):
+            continue
+        if not sample_re.match(line):
+            raise CheckFailure(f"{prom_path}:{number}: bad exposition line: {line!r}")
+        samples += 1
+    if samples == 0:
+        raise CheckFailure(f"{prom_path}: no samples")
+    if not any(line.startswith("repro_engine_cells") for line in prom_lines):
+        raise CheckFailure(f"{prom_path}: repro_engine_cells series missing")
+    return summary + f"; {samples} Prometheus samples"
+
+
+# ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 def main(argv: Optional[List[str]] = None) -> int:
@@ -263,6 +409,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_cube.add_argument("--expected", required=True, help="committed fixture JSON")
     p_cube.add_argument("--cdf-out", default=None, help="write overhead CDFs here")
 
+    p_runlog = sub.add_parser("runlog", help="validate a JSONL run log")
+    p_runlog.add_argument("path", help="run-log JSONL file (--runlog output)")
+
+    p_telemetry = sub.add_parser(
+        "telemetry", help="validate a telemetry JSON report (+ Prometheus export)"
+    )
+    p_telemetry.add_argument("path", help="telemetry JSON report (--telemetry-out)")
+    p_telemetry.add_argument(
+        "--prom", default=None, help="Prometheus text export to validate too"
+    )
+
     opts = parser.parse_args(argv)
     try:
         if opts.command == "trace":
@@ -273,6 +430,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             summary = check_parallel(opts.workers)
         elif opts.command == "fuzz":
             summary = check_fuzz(opts.directory)
+        elif opts.command == "runlog":
+            summary = check_runlog(opts.path)
+        elif opts.command == "telemetry":
+            summary = check_telemetry(opts.path, prom_path=opts.prom)
         else:
             summary = check_cube(opts.path, opts.expected, cdf_out=opts.cdf_out)
     except CheckFailure as exc:
