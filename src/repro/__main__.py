@@ -56,6 +56,38 @@ Commands:
   and fault specs, and a witness is any schedule where one defense holds
   while the other leaks (the DetBrowser divergence hunt).
 
+* ``population``           — streamed internet-scale load-time sweep::
+
+      python -m repro population [--size N] [--seed N] [--mode model|sim]
+                                 [--visits N] [--sessions N] [--window N]
+                                 [--parallel N] [--json] [--out FILE]
+
+  Sweeps a seeded population of ``--size`` pages (site archetypes whose
+  mix shifts with popularity rank; see ``repro.workloads.population``)
+  through the engine's bounded-window streaming path and prints
+  per-config / per-archetype load-time quantiles from mergeable
+  sketches — resident memory is independent of ``--size``.
+  ``--sessions N`` switches from a uniform rank scan to a seeded user-
+  session arrival process (Zipf page picks, per-session browser from
+  the traffic mix).  ``--mode model`` (default) evaluates the closed-
+  form load-time model; ``--mode sim`` drives the full simulated
+  browser (Figure-3 path, ~1000x slower).
+
+* ``serve``                — long-running experiment service::
+
+      python -m repro serve --socket PATH              # server (foreground)
+      python -m repro serve --socket PATH --submit JOB [--out FILE]
+      python -m repro serve --socket PATH --ping | --status |
+                            --cancel JOB_ID | --shutdown
+
+  Accepts experiment jobs as JSON lines over a local unix socket and
+  streams incremental results plus telemetry snapshots back on the
+  same connection (see ``repro.serve`` for the frame schema).  ``JOB``
+  is an inline JSON job spec, ``@FILE`` or ``-`` for stdin, e.g.
+  ``'{"kind": "population", "size": 5000}'``.  Jobs can be cancelled
+  mid-flight; a disconnecting client cancels its own job; ``--shutdown``
+  stops the server gracefully.
+
 * ``cube``                 — the defense × attack cube::
 
       python -m repro cube [--full] [--attacks A,B,...] [--defenses X,Y,...]
@@ -669,12 +701,19 @@ def _cmd_fuzz(args) -> None:
             strategy=strategy,
             parallel=parallel,
             cache=cache,
+            max_witnesses=max_witnesses,
         )
         print(
             f"{report['trials']} differential trials of {attack}: "
             f"{defense} vs {vs} (seed {seed}, strategy {strategy}): "
             f"{report['divergent']} divergent schedules"
         )
+        if report["failed_shards"]:
+            print(
+                f"  attempted {report['attempted_trials']} trials; "
+                f"{report['failed_shards']} shards failed",
+                file=sys.stderr,
+            )
         for sig, n in sorted(report["signatures"].items()):
             print(f"  divergence {n:4d}x  [{sig}]")
         print(
@@ -711,13 +750,24 @@ def _cmd_fuzz(args) -> None:
         parallel=parallel,
         cache=cache,
         check_determinism=check_determinism,
+        max_witnesses=max_witnesses,
     )
 
+    witnesses_found = len(report["witnesses"]) + report["witness_overflow"]
     print(
         f"{report['trials']} trials of {attack} vs {defense} (seed {seed}, "
-        f"strategy {strategy}): {len(report['witnesses'])} witnesses, "
+        f"strategy {strategy}): {witnesses_found} witnesses, "
         f"{report['order_violations']} kernel order violations"
     )
+    if report["failed_shards"]:
+        print(
+            f"  attempted {report['attempted_trials']} trials; "
+            f"{report['failed_shards']} shards failed "
+            f"({report['attempted_trials'] - report['trials']} trials lost)",
+            file=sys.stderr,
+        )
+    if report["witness_overflow"]:
+        print(f"  witness list capped: {report['witness_overflow']} more not kept")
     for outcome, n in sorted(report["outcomes"].items()):
         print(f"  outcome {n:4d}x  {outcome}")
     for sig, n in sorted(report["signatures"].items()):
@@ -756,6 +806,161 @@ def _cmd_fuzz(args) -> None:
     print(f"replay with: python -m repro fuzz --replay {first}")
 
 
+POPULATION_USAGE = (
+    "usage: python -m repro population [--size N] [--seed N] [--mode model|sim] "
+    "[--visits N] [--sessions N] [--window N] [--parallel N] [--json] [--out FILE]"
+)
+
+
+def _cmd_population(args) -> None:
+    """Streamed population sweep: per-config/archetype load-time quantiles."""
+    from .workloads.population import population_sweep
+
+    args = list(args)
+    parallel, cache = _engine_flags(args)
+    size_arg = _flag_value(args, "--size", "2000")
+    seed_arg = _flag_value(args, "--seed", "0")
+    mode = _flag_value(args, "--mode", "model")
+    visits_arg = _flag_value(args, "--visits", "1")
+    sessions_arg = _flag_value(args, "--sessions", "")
+    window_arg = _flag_value(args, "--window", "")
+    out = _flag_value(args, "--out", "")
+    as_json = "--json" in args
+    if as_json:
+        args.remove("--json")
+    if args:
+        print(POPULATION_USAGE)
+        raise SystemExit(2)
+    try:
+        size = int(size_arg)
+        seed = int(seed_arg)
+        visits = int(visits_arg)
+        sessions = int(sessions_arg) if sessions_arg else None
+        window = int(window_arg) if window_arg else None
+    except ValueError:
+        _die("--size/--seed/--visits/--sessions/--window take integers")
+    if mode not in ("model", "sim"):
+        _die(f"--mode takes 'model' or 'sim', got {mode!r}")
+
+    report = population_sweep(
+        size, seed=seed, mode=mode, visits=visits, sessions=sessions,
+        parallel=parallel, cache=cache, window=window,
+    )
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {out}")
+    if as_json:
+        print(payload)
+    else:
+        rows = [
+            [name, stats["count"], stats["mean_ms"], stats["p50"], stats["p95"], stats["p99"]]
+            for name, stats in report["configs"].items()
+        ]
+        print(render_table(
+            ["config", "pages", "mean", "p50", "p95", "p99"], rows,
+            title=f"Population sweep: {report['pages']} pages, mode {mode} (ms)",
+        ))
+        rows = [
+            [name, stats["count"], stats["mean_ms"], stats["p50"]]
+            for name, stats in report["archetypes"].items()
+        ]
+        print(render_table(["archetype", "pages", "mean", "p50"], rows))
+    for line in report["errors"]:
+        print(f"cell error: {line}", file=sys.stderr)
+    if report["error_overflow"]:
+        print(f"... and {report['error_overflow']} more errors", file=sys.stderr)
+
+
+SERVE_USAGE = (
+    "usage: python -m repro serve --socket PATH "
+    "[--submit JSON|@FILE|-] [--out FILE] [--ping] [--status] "
+    "[--cancel JOB_ID] [--shutdown]"
+)
+
+
+def _cmd_serve(args) -> None:
+    """Experiment service over a unix socket — server and client modes."""
+    import signal
+
+    from . import serve as serve_mod
+
+    args = list(args)
+    socket_path = _flag_value(args, "--socket", "repro-serve.sock")
+    submit = _flag_value(args, "--submit", "")
+    out = _flag_value(args, "--out", "")
+    cancel_id = _flag_value(args, "--cancel", "")
+    ping = "--ping" in args
+    if ping:
+        args.remove("--ping")
+    status = "--status" in args
+    if status:
+        args.remove("--status")
+    shutdown = "--shutdown" in args
+    if shutdown:
+        args.remove("--shutdown")
+    if args:
+        print(SERVE_USAGE)
+        raise SystemExit(2)
+
+    # client modes: one control op, or submit-and-stream
+    if ping or status or shutdown or cancel_id:
+        op = {"op": "ping"} if ping else \
+            {"op": "status"} if status else \
+            {"op": "shutdown"} if shutdown else \
+            {"op": "cancel", "job_id": cancel_id}
+        try:
+            print(json.dumps(serve_mod.request(socket_path, op), sort_keys=True))
+        except (OSError, ConnectionError) as exc:
+            _die(f"cannot reach server at {socket_path!r}: {exc}")
+        return
+    if submit:
+        if submit == "-":
+            submit = sys.stdin.read()
+        elif submit.startswith("@"):
+            with open(submit[1:], "r", encoding="utf-8") as handle:
+                submit = handle.read()
+        try:
+            job = json.loads(submit)
+        except ValueError as exc:
+            _die(f"--submit takes a JSON job spec: {exc}")
+        sink = open(out, "w", encoding="utf-8") if out else None
+        final = None
+        try:
+            for frame in serve_mod.submit_and_stream(socket_path, job):
+                line = json.dumps(frame, sort_keys=True)
+                print(line)
+                if sink is not None:
+                    sink.write(line + "\n")
+                final = frame
+        except (OSError, ConnectionError) as exc:
+            _die(f"cannot reach server at {socket_path!r}: {exc}")
+        finally:
+            if sink is not None:
+                sink.close()
+                print(f"wrote {out}", file=sys.stderr)
+        if final is None or final.get("type") != "done":
+            raise SystemExit(1)
+        return
+
+    # server mode: run in the foreground until told to stop
+    server = serve_mod.ExperimentServer(socket_path)
+    server.start()
+    print(
+        f"serving on {socket_path}  "
+        f"(ctrl-c or: python -m repro serve --socket {socket_path} --shutdown)",
+        file=sys.stderr,
+    )
+    signal.signal(signal.SIGTERM, lambda _sig, _frm: server.shutdown())
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+
+
 COMMANDS = {
     "matrix": _cmd_matrix,
     "table2": _cmd_table2,
@@ -769,6 +974,8 @@ COMMANDS = {
     "analyze": _cmd_analyze,
     "fuzz": _cmd_fuzz,
     "cube": _cmd_cube,
+    "population": _cmd_population,
+    "serve": _cmd_serve,
 }
 
 
@@ -789,7 +996,7 @@ def _run_profiled(command: str, fn, rest) -> None:
 
 
 #: Commands the telemetry flags (--live/--telemetry-out/--runlog) apply to.
-TELEMETRY_COMMANDS = ("matrix", "table2", "figure2", "bench", "fuzz", "cube")
+TELEMETRY_COMMANDS = ("matrix", "table2", "figure2", "bench", "fuzz", "cube", "population")
 
 
 def main(argv=None) -> int:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from functools import lru_cache
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..analysis.scenario import run_traced_scenario
 from ..harness.parallel import Cell, ExperimentEngine
@@ -261,6 +261,71 @@ def run_diff_cell(
     }
 
 
+class CampaignAggregate:
+    """Bounded-memory campaign accounting shared by both campaign kinds.
+
+    Folds shard payloads as they stream out of the engine.  ``trials``
+    counts trials whose shard *succeeded* (the numbers the signature and
+    outcome tallies describe); ``attempted_trials`` counts every trial
+    the campaign dispatched, failed shards included — the denominator
+    progress/ETA must use, and the discrepancy the report surfaces via
+    ``failed_shards``.  The witness list is capped at ``max_witnesses``
+    (``None`` = unlimited) with an explicit ``witness_overflow`` counter
+    so a pathological campaign cannot grow the report without bound.
+    """
+
+    def __init__(self, max_witnesses: Optional[int] = None):
+        self.max_witnesses = max_witnesses
+        self.trials = 0
+        self.attempted_trials = 0
+        self.failed_shards = 0
+        self.witnesses: List[dict] = []
+        self.witness_overflow = 0
+        self.signatures: Dict[str, int] = {}
+        self.errors: List[str] = []
+
+    def admit(self, result) -> Optional[dict]:
+        """Fold one shard result; returns the payload when the shard ran."""
+        count = int(result.cell.params.get("count", 0))
+        self.attempted_trials += count
+        if not result.ok:
+            self.failed_shards += 1
+            self.errors.append(f"{result.cell.label()}: {result.error}")
+            return None
+        payload = result.payload
+        self.trials += payload["trials"]
+        for witness in payload["witnesses"]:
+            if self.max_witnesses is not None and len(self.witnesses) >= self.max_witnesses:
+                self.witness_overflow += 1
+            else:
+                self.witnesses.append(witness)
+        for sig, n in payload["signatures"].items():
+            self.signatures[sig] = self.signatures.get(sig, 0) + n
+        return payload
+
+    def report(self) -> dict:
+        return {
+            "trials": self.trials,
+            "attempted_trials": self.attempted_trials,
+            "failed_shards": self.failed_shards,
+            "witnesses": self.witnesses,
+            "witness_overflow": self.witness_overflow,
+            "signatures": self.signatures,
+            "errors": self.errors,
+        }
+
+
+def _shard_cells(kind: str, budget: int, shard_size: int, params: dict) -> List[Cell]:
+    """The shard cells of one campaign (``count`` carries the trial count)."""
+    if budget <= 0:
+        raise ValueError(f"budget must be positive, got {budget}")
+    shard_size = max(int(shard_size), 1)
+    return [
+        Cell(kind, dict(params, start=start, count=min(shard_size, budget - start)))
+        for start in range(0, budget, shard_size)
+    ]
+
+
 def run_diff_campaign(
     attack: str = DEFAULT_ATTACK,
     defense: str = "jskernel",
@@ -271,6 +336,8 @@ def run_diff_campaign(
     parallel: Optional[int] = None,
     cache=None,
     shard_size: int = DEFAULT_SHARD,
+    max_witnesses: Optional[int] = None,
+    on_result: Optional[Callable[[int, dict], None]] = None,
 ) -> dict:
     """Hunt schedules where one defense holds and the other leaks.
 
@@ -279,60 +346,44 @@ def run_diff_campaign(
     twice, once per defense, under identical perturbation + fault specs,
     and trials whose security-failure signatures differ become
     divergence witnesses.  Shards are engine cells (kind ``"fuzz-diff"``)
-    so ``parallel``/``cache`` behave like every other campaign.
+    streamed through :meth:`~repro.harness.parallel.ExperimentEngine.
+    stream`, so ``parallel``/``cache`` behave like every other campaign
+    and the resident state is one shard's payload plus the aggregate.
+    ``on_result`` is called after every shard with ``(attempted_trials,
+    partial report)`` — the serve mode's progress hook.
     """
-    if budget <= 0:
-        raise ValueError(f"budget must be positive, got {budget}")
-    shard_size = max(int(shard_size), 1)
-    cells = [
-        Cell(
-            "fuzz-diff",
-            {
-                "attack": attack,
-                "defense": defense,
-                "vs": vs,
-                "seed": seed,
-                "start": start,
-                "count": min(shard_size, budget - start),
-                "strategy": strategy,
-            },
-        )
-        for start in range(0, budget, shard_size)
-    ]
+    cells = _shard_cells(
+        "fuzz-diff",
+        budget,
+        shard_size,
+        {"attack": attack, "defense": defense, "vs": vs, "seed": seed,
+         "strategy": strategy},
+    )
     engine = ExperimentEngine(workers=parallel, cache=cache)
-    results = engine.run(cells)
-
-    witnesses: List[dict] = []
-    signatures: Dict[str, int] = {}
-    errors: List[str] = []
-    trials = 0
+    aggregate = CampaignAggregate(max_witnesses)
     divergent = 0
-    for result in results:
-        if not result.ok:
-            errors.append(f"{result.cell.label()}: {result.error}")
-            continue
-        payload = result.payload
-        trials += payload["trials"]
-        divergent += payload["divergent"]
-        witnesses.extend(payload["witnesses"])
-        for sig, n in payload["signatures"].items():
-            signatures[sig] = signatures.get(sig, 0) + n
+    for result in engine.stream(cells):
+        payload = aggregate.admit(result)
+        if payload is not None:
+            divergent += payload["divergent"]
+        if on_result is not None:
+            on_result(aggregate.attempted_trials, _partial(aggregate, engine))
 
-    return {
-        "attack": attack,
-        "defense": defense,
-        "vs": vs,
-        "seed": seed,
-        "budget": budget,
-        "strategy": strategy,
-        "trials": trials,
-        "divergent": divergent,
-        "witnesses": witnesses,
-        "signatures": signatures,
-        "computed_shards": engine.computed,
-        "cached_shards": engine.cache_hits,
-        "errors": errors,
-    }
+    report = aggregate.report()
+    report.update(
+        {
+            "attack": attack,
+            "defense": defense,
+            "vs": vs,
+            "seed": seed,
+            "budget": budget,
+            "strategy": strategy,
+            "divergent": divergent,
+            "computed_shards": engine.computed,
+            "cached_shards": engine.cache_hits,
+        }
+    )
+    return report
 
 
 def run_campaign(
@@ -345,71 +396,71 @@ def run_campaign(
     cache=None,
     shard_size: int = DEFAULT_SHARD,
     check_determinism: Optional[bool] = None,
+    max_witnesses: Optional[int] = None,
+    on_result: Optional[Callable[[int, dict], None]] = None,
 ) -> dict:
-    """Run a full campaign, sharded over the experiment engine.
+    """Run a full campaign, sharded and streamed over the engine.
 
     ``budget`` is the trial count.  Returns an aggregate report with
-    every witness found (un-minimized — see
-    :func:`repro.explore.minimize.minimize_witness`).
+    the witnesses found (un-minimized — see
+    :func:`repro.explore.minimize.minimize_witness`), capped at
+    ``max_witnesses`` when given.  ``trials`` counts trials of
+    successful shards only; ``attempted_trials`` / ``failed_shards``
+    surface the difference so progress reporting cannot overstate a
+    campaign with poisoned shards.  ``on_result`` is called after every
+    shard with ``(attempted_trials, partial report)``.
     """
-    if budget <= 0:
-        raise ValueError(f"budget must be positive, got {budget}")
-    shard_size = max(int(shard_size), 1)
-    cells = [
-        Cell(
-            "fuzz",
-            {
-                "attack": attack,
-                "defense": defense,
-                "seed": seed,
-                "start": start,
-                "count": min(shard_size, budget - start),
-                "strategy": strategy,
-                "check_determinism": check_determinism,
-            },
-        )
-        for start in range(0, budget, shard_size)
-    ]
+    cells = _shard_cells(
+        "fuzz",
+        budget,
+        shard_size,
+        {"attack": attack, "defense": defense, "seed": seed,
+         "strategy": strategy, "check_determinism": check_determinism},
+    )
     engine = ExperimentEngine(workers=parallel, cache=cache)
-    results = engine.run(cells)
-
-    witnesses: List[dict] = []
+    aggregate = CampaignAggregate(max_witnesses)
     outcomes: Dict[str, int] = {}
-    signatures: Dict[str, int] = {}
-    errors: List[str] = []
-    trials = 0
     order_violations = 0
-    for result in results:
-        if not result.ok:
-            errors.append(f"{result.cell.label()}: {result.error}")
-            continue
-        payload = result.payload
-        trials += payload["trials"]
-        order_violations += payload["order_violations"]
-        witnesses.extend(payload["witnesses"])
-        for outcome, n in payload["outcomes"].items():
-            outcomes[outcome] = outcomes.get(outcome, 0) + n
-        for sig, n in payload["signatures"].items():
-            signatures[sig] = signatures.get(sig, 0) + n
+    for result in engine.stream(cells):
+        payload = aggregate.admit(result)
+        if payload is not None:
+            order_violations += payload["order_violations"]
+            for outcome, n in payload["outcomes"].items():
+                outcomes[outcome] = outcomes.get(outcome, 0) + n
+        if on_result is not None:
+            on_result(aggregate.attempted_trials, _partial(aggregate, engine))
 
+    report = aggregate.report()
+    report.update(
+        {
+            "attack": attack,
+            "defense": defense,
+            "seed": seed,
+            "budget": budget,
+            "strategy": strategy,
+            "outcomes": outcomes,
+            "order_violations": order_violations,
+            "computed_shards": engine.computed,
+            "cached_shards": engine.cache_hits,
+        }
+    )
+    return report
+
+
+def _partial(aggregate: CampaignAggregate, engine: ExperimentEngine) -> dict:
+    """The in-flight progress view handed to ``on_result`` hooks."""
     return {
-        "attack": attack,
-        "defense": defense,
-        "seed": seed,
-        "budget": budget,
-        "strategy": strategy,
-        "trials": trials,
-        "witnesses": witnesses,
-        "outcomes": outcomes,
-        "signatures": signatures,
-        "order_violations": order_violations,
+        "trials": aggregate.trials,
+        "attempted_trials": aggregate.attempted_trials,
+        "failed_shards": aggregate.failed_shards,
+        "errors": aggregate.errors,
         "computed_shards": engine.computed,
         "cached_shards": engine.cache_hits,
-        "errors": errors,
     }
 
 
 __all__ = [
+    "CampaignAggregate",
     "DEFAULT_ATTACK",
     "DEFAULT_DEFENSE",
     "STRATEGIES",

@@ -38,12 +38,23 @@ from __future__ import annotations
 import json
 import math
 import traceback
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..telemetry.run import RunTelemetry, current_run
-from ..telemetry.spans import set_recorder, worker_recorder
+from ..telemetry.spans import worker_recorder
 from ..trace import Tracer, capture, current_tracer
 from .cache import ResultCache, as_cache
 
@@ -153,6 +164,23 @@ def _run_alexa_cell(config: str, rank: int, site_count: int, visits: int, seed: 
     return {"avg_ms": measure_site_average(config, site, visits=visits, seed=seed)}
 
 
+@cell_kind("population")
+def _run_population_cell(
+    rank: int,
+    seed: int,
+    size: int,
+    mode: str = "model",
+    config: str = "",
+    visit: int = 0,
+) -> dict:
+    """One population-sweep visit (see :mod:`repro.workloads.population`)."""
+    from ..workloads.population import run_population_page
+
+    return run_population_page(
+        rank, seed, size=size, mode=mode, config=config, visit=visit
+    )
+
+
 @cell_kind("fuzz")
 def _run_fuzz_cell(**params) -> dict:
     """One fuzz-campaign shard (see :mod:`repro.explore.campaign`)."""
@@ -220,11 +248,9 @@ def _run_chunk(
     ``$REPRO_RUNLOG``).
     """
     specs, collect_metrics, collect_telemetry, shard = batch
-    recorder = None
-    if collect_telemetry:
-        recorder = worker_recorder()
-        if recorder is not None:
-            set_recorder(recorder)  # reuse the handle across chunks
+    # worker_recorder() installs itself as the process-ambient recorder,
+    # so a long-lived pool worker reuses one run-log handle across chunks
+    recorder = worker_recorder() if collect_telemetry else None
 
     def execute() -> List[dict]:
         results = []
@@ -362,38 +388,261 @@ class ExperimentEngine:
         return [result for result in results if result is not None]
 
     # ------------------------------------------------------------------
-    def _iter_serial(self, cells: List[Cell], telem: Optional[RunTelemetry]):
-        """In-process execution, yielding outcomes one cell at a time.
+    # streaming execution
+    # ------------------------------------------------------------------
 
-        Without telemetry this is the historical serial path: cells run
-        directly under the ambient tracer capture.  With telemetry each
-        cell runs under a private sketch-recording tracer whose snapshot
-        is folded into the telemetry metric set *and* the ambient tracer
-        — the same merge semantics as a pool worker, so serial and
-        parallel telemetry snapshots are byte-identical (trace *events*
-        are not collected in telemetry mode, matching the pool).
+    #: Chunk size :meth:`stream` uses when ``chunk_size`` is unset.
+    #: A streaming run does not know its total cell count up front, so a
+    #: fixed batch amortises process dispatch while keeping the resident
+    #: window small (``window * STREAM_CHUNK`` cells at most).
+    STREAM_CHUNK = 32
+
+    def stream(
+        self,
+        cells: Iterable[Cell],
+        window: Optional[int] = None,
+    ) -> Iterator[CellResult]:
+        """Execute a cell *iterator* with a bounded in-flight window.
+
+        Unlike :meth:`run`, which materialises every cell and result,
+        ``stream`` pulls cells lazily, keeps at most ``window`` chunks
+        in flight (default ``2 * workers``), and yields each
+        :class:`CellResult` as its shard completes — in **submission
+        order**, so per-chunk metrics snapshots still merge in shard
+        order and the merged telemetry equals a serial run's.  Resident
+        state never exceeds the window: a million-cell sweep whose
+        consumer aggregates into mergeable sketches runs in flat memory.
+
+        Closing the generator early (``break``, per-job cancellation in
+        serve mode) cancels every chunk that has not started and waits
+        only for the chunks already running.
         """
-        for cell in cells:
-            spec = (cell.kind, cell.params)
-            if telem is None:
-                yield _run_cell(spec)
-                continue
-            tracer = Tracer(enabled=True)
-            tracer.metrics.sketch_observations = True
-            recorder = telem.recorder
-            if recorder is not None:
-                with recorder.span("engine.cell.run", kind=cell.kind):
-                    with capture(tracer):
-                        outcome = _run_cell(spec)
+        telem = current_run()
+        computed_before = self.computed
+        cache_hits_before = self.cache_hits
+        errors_before = self.errors
+        cache_before = (
+            (self.cache.hits, self.cache.misses, self.cache.stores)
+            if self.cache is not None
+            else None
+        )
+        if telem is not None:
+            telem.engine_stream_started(self.workers)
+        yielded = 0
+        try:
+            if self.workers > 1:
+                source = self._stream_pool(cells, telem, window)
             else:
+                source = self._stream_serial(cells, telem)
+            for result in source:
+                yielded += 1
+                yield result
+        finally:
+            tracer = current_tracer()
+            if tracer.enabled:
+                metrics = tracer.metrics
+                metrics.counter("engine.cells").inc(yielded)
+                metrics.counter("engine.computed").inc(self.computed - computed_before)
+                metrics.counter("engine.cache_hits").inc(
+                    self.cache_hits - cache_hits_before
+                )
+                if self.errors > errors_before:
+                    metrics.counter("engine.errors").inc(self.errors - errors_before)
+            if telem is not None and cache_before is not None:
+                telem.record_cache_traffic(
+                    self.cache.hits - cache_before[0],
+                    self.cache.misses - cache_before[1],
+                    self.cache.stores - cache_before[2],
+                )
+
+    def _finish_computed(
+        self,
+        cell: Cell,
+        key: Optional[str],
+        outcome: dict,
+        telem: Optional[RunTelemetry],
+        emit: bool,
+    ) -> CellResult:
+        """Fold one computed outcome into counters/cache/telemetry."""
+        self.computed += 1
+        if outcome["ok"]:
+            result = CellResult(cell, payload=outcome["payload"])
+            if self.cache is not None and key is not None:
+                self.cache.put(key, cell.kind, cell.params, outcome["payload"])
+        else:
+            self.errors += 1
+            result = CellResult(cell, error=outcome["error"])
+        if telem is not None:
+            telem.cell_finished(
+                cell, ok=outcome["ok"], cached=False, error=outcome["error"], emit=emit
+            )
+        return result
+
+    def _stream_serial(
+        self, cells: Iterable[Cell], telem: Optional[RunTelemetry]
+    ) -> Iterator[CellResult]:
+        """In-process streaming: one cell resident at a time."""
+        for cell in cells:
+            if telem is not None:
+                telem.cell_admitted()
+            key = None
+            if self.cache is not None:
+                key = self.cache.key(cell.kind, cell.params)
+                entry = self.cache.get(key)
+                if entry is not None:
+                    self.cache_hits += 1
+                    if telem is not None:
+                        telem.cell_finished(cell, ok=True, cached=True)
+                    yield CellResult(cell, payload=entry["payload"], cached=True)
+                    continue
+            outcome = self._serial_outcome(cell, telem)
+            yield self._finish_computed(cell, key, outcome, telem, emit=True)
+
+    def _stream_pool(
+        self,
+        cells: Iterable[Cell],
+        telem: Optional[RunTelemetry],
+        window: Optional[int],
+    ) -> Iterator[CellResult]:
+        """Chunked pool streaming with a bounded in-flight window.
+
+        Cache hits and completed chunks are yielded strictly in
+        submission order; admission blocks (on the oldest future) once
+        ``window`` chunks are in flight, which is what bounds both the
+        pool's backlog and the parent's resident state.
+        """
+        tracer = current_tracer()
+        collect_telemetry = telem is not None
+        collect_metrics = tracer.enabled or collect_telemetry
+        chunk = self.chunk_size or self.STREAM_CHUNK
+        window = int(window) if window else max(2, self.workers * 2)
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+
+        #: ("hit", cell, payload) | ("chunk", shard, [(cell, key)...], future)
+        out: deque = deque()
+        state = {"shard": 0, "in_flight": 0}
+        buffer: List[Tuple[Cell, Optional[str]]] = []
+
+        def flush(pool) -> None:
+            nonlocal buffer
+            if not buffer:
+                return
+            specs = [(cell.kind, cell.params) for cell, _key in buffer]
+            future = pool.submit(
+                _run_chunk, (specs, collect_metrics, collect_telemetry, state["shard"])
+            )
+            out.append(("chunk", state["shard"], buffer, future))
+            if telem is not None:
+                telem.shards_planned(1)
+            state["shard"] += 1
+            state["in_flight"] += 1
+            buffer = []
+
+        def drain(entry) -> Iterator[CellResult]:
+            if entry[0] == "hit":
+                _kind, cell, payload = entry
+                self.cache_hits += 1
+                if telem is not None:
+                    telem.cell_finished(cell, ok=True, cached=True)
+                yield CellResult(cell, payload=payload, cached=True)
+                return
+            _kind, shard, batch, future = entry
+            chunk_results, snapshot = future.result()
+            state["in_flight"] -= 1
+            if snapshot is not None:
+                ambient = current_tracer()
+                if ambient.enabled:
+                    ambient.metrics.merge_snapshot(snapshot)
+                if telem is not None:
+                    telem.merge_metrics(snapshot)
+            if telem is not None:
+                telem.shard_done(shard, len(chunk_results))
+            for (cell, key), outcome in zip(batch, chunk_results):
+                yield self._finish_computed(cell, key, outcome, telem, emit=False)
+
+        def ready() -> bool:
+            """Is the head of the output queue safe to drain now?
+
+            Hits and completed chunks always are; a pending chunk only
+            once the window is full (then we *block* on it — that is
+            the flow control).
+            """
+            if not out:
+                return False
+            head = out[0]
+            if head[0] == "hit" or head[3].done():
+                return True
+            return state["in_flight"] >= window
+
+        pool = ProcessPoolExecutor(max_workers=self.workers)
+        try:
+            for cell in cells:
+                if telem is not None:
+                    telem.cell_admitted()
+                entry = None
+                key = None
+                if self.cache is not None:
+                    key = self.cache.key(cell.kind, cell.params)
+                    entry = self.cache.get(key)
+                if entry is not None:
+                    # a hit must not overtake buffered misses admitted
+                    # before it: seal them into a (possibly short) chunk
+                    # first so results stay in strict submission order
+                    flush(pool)
+                    out.append(("hit", cell, entry["payload"]))
+                else:
+                    buffer.append((cell, key))
+                    if len(buffer) >= chunk:
+                        flush(pool)
+                while ready():
+                    yield from drain(out.popleft())
+            flush(pool)
+            while out:
+                yield from drain(out.popleft())
+        finally:
+            # an early close (consumer cancelled mid-stream) lands here
+            # with futures still queued: cancel what never started, wait
+            # only for the chunks already on a worker
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    def _serial_outcome(self, cell: Cell, telem: Optional[RunTelemetry]) -> dict:
+        """Run one cell in-process (the telemetry-aware serial body).
+
+        Without telemetry this is the historical serial path: the cell
+        runs directly under the ambient tracer capture.  With telemetry
+        the cell runs under a private sketch-recording tracer whose
+        snapshot is folded into the telemetry metric set *and* the
+        ambient tracer — the same merge semantics as a pool worker, so
+        serial and parallel telemetry snapshots are byte-identical
+        (trace *events* are not collected in telemetry mode, matching
+        the pool).
+        """
+        spec = (cell.kind, cell.params)
+        if telem is None:
+            return _run_cell(spec)
+        tracer = Tracer(enabled=True)
+        tracer.metrics.sketch_observations = True
+        recorder = telem.recorder
+        if recorder is not None:
+            with recorder.span("engine.cell.run", kind=cell.kind):
                 with capture(tracer):
                     outcome = _run_cell(spec)
-            snapshot = tracer.metrics.snapshot()
-            telem.merge_metrics(snapshot)
-            ambient = current_tracer()
-            if ambient.enabled:
-                ambient.metrics.merge_snapshot(snapshot)
-            yield outcome
+        else:
+            with capture(tracer):
+                outcome = _run_cell(spec)
+        snapshot = tracer.metrics.snapshot()
+        telem.merge_metrics(snapshot)
+        ambient = current_tracer()
+        if ambient.enabled:
+            ambient.metrics.merge_snapshot(snapshot)
+        return outcome
+
+    def _iter_serial(self, cells: Iterable[Cell], telem: Optional[RunTelemetry]):
+        """In-process execution, yielding outcomes one cell at a time."""
+        for cell in cells:
+            yield self._serial_outcome(cell, telem)
 
     def _iter_pool(self, cells: List[Cell], telem: Optional[RunTelemetry]):
         """Chunked pool dispatch, yielding outcomes in submission order.

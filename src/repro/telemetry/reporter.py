@@ -55,6 +55,13 @@ class LiveReporter:
     (parallel) completion, and the session calls :meth:`finish` once,
     which forces a final repaint and a newline.  ``now`` is injectable
     for tests.
+
+    When the stream is **not a TTY** (CI logs, ``2>file``) the
+    ``\\r``-overwrite trick would concatenate every repaint into one
+    unreadable multi-kilobyte line, so the reporter detects
+    ``stream.isatty()`` and falls back to newline-delimited updates
+    throttled at ``noninteractive_interval`` (default one line every
+    5 s instead of 5 Hz).  ``interactive`` overrides the detection.
     """
 
     def __init__(
@@ -63,10 +70,18 @@ class LiveReporter:
         stream: Optional[TextIO] = None,
         interval: float = 0.2,
         now: Callable[[], float] = time.monotonic,
+        interactive: Optional[bool] = None,
+        noninteractive_interval: float = 5.0,
     ):
         self.command = command
         self.stream = stream if stream is not None else sys.stderr
-        self.interval = interval
+        if interactive is None:
+            try:
+                interactive = bool(self.stream.isatty())
+            except (AttributeError, ValueError, OSError):
+                interactive = False
+        self.interactive = interactive
+        self.interval = interval if interactive else max(interval, noninteractive_interval)
         self.now = now
         self.started = now()
         self._last_render = 0.0
@@ -85,6 +100,8 @@ class LiveReporter:
     def finish(self, telemetry) -> None:
         """Final repaint plus a newline so the shell prompt stays clean."""
         self._render(telemetry, self.now())
+        if not self.interactive:
+            return  # newline-delimited mode: every line already ends in \n
         try:
             self.stream.write("\n")
             self.stream.flush()
@@ -120,11 +137,14 @@ class LiveReporter:
         if remaining > 0 and rate > 0:
             parts.append(f"eta {format_duration(remaining / rate)}")
         line = "  ".join(parts)
-        padding = " " * max(self._last_width - len(line), 0)
-        self._last_width = len(line)
         self.renders += 1
         try:
-            self.stream.write("\r" + line + padding)
+            if self.interactive:
+                padding = " " * max(self._last_width - len(line), 0)
+                self._last_width = len(line)
+                self.stream.write("\r" + line + padding)
+            else:
+                self.stream.write(line + "\n")
             self.stream.flush()
         except (OSError, ValueError):  # pragma: no cover - closed stream
             pass

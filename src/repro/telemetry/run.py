@@ -89,6 +89,17 @@ class RunTelemetry:
         if self.recorder is not None:
             self.recorder.point("engine.run", cells=cells, workers=workers)
 
+    def engine_stream_started(self, workers: int) -> None:
+        """A streaming run begins; its cell count is unknown up front."""
+        self.engine["runs"] += 1
+        if self.recorder is not None:
+            self.recorder.point("engine.stream", workers=workers)
+
+    def cell_admitted(self, count: int = 1) -> None:
+        """A streaming run pulled ``count`` more cells from its iterator."""
+        self.engine["cells"] += count
+        self.total_cells += count
+
     def shards_planned(self, count: int) -> None:
         self.shards["total"] += count
 

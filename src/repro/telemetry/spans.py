@@ -141,18 +141,24 @@ def worker_recorder() -> Optional[SpanRecorder]:
     Workers inherit the parent's run-log *path* through the environment
     (recorder objects hold file handles and locks, so they never cross
     the process boundary).  Returns the ambient recorder when one is
-    already installed in this process, else opens the inherited path in
-    append mode, else ``None``.
+    already installed in this process and still matches the inherited
+    path; otherwise opens the path once and **installs it as the
+    ambient recorder**, so a worker that runs many chunks appends
+    through one cached file handle instead of opening a new descriptor
+    per chunk.  Returns ``None`` when no path is inherited.
     """
-    if _active is not None:
-        return _active
+    global _active
     path = os.environ.get(RUNLOG_ENV, "")
+    if _active is not None and (not path or _active.path == path):
+        return _active
     if not path:
         return None
     try:
-        return SpanRecorder(path)
+        recorder = SpanRecorder(path)
     except OSError:  # pragma: no cover - unwritable path: telemetry only
         return None
+    _active = recorder
+    return recorder
 
 
 @contextmanager

@@ -15,6 +15,20 @@ from .codepen import (
     run_app,
 )
 from .dromaeo import DROMAEO_TESTS, overhead_report, run_test
+from .population import (
+    DEFAULT_BROWSER_MIX,
+    PopulationAggregate,
+    PopulationModel,
+    Session,
+    archetype_for_rank,
+    config_for_rank,
+    estimate_load_ms,
+    page_for,
+    population_cells,
+    population_sweep,
+    session_cells,
+    session_stream,
+)
 from .raptor import SUBTEST_PROFILES, measure_hero_time_ms, raptor_site, table3_rows
 from .sites import (
     SiteDescription,
@@ -28,13 +42,25 @@ from .workerbench import WORKER_COUNT, measure_worker_creation_ms, worker_overhe
 
 __all__ = [
     "CODEPEN_APPS",
+    "DEFAULT_BROWSER_MIX",
     "DROMAEO_TESTS",
     "FIGURE3_CONFIGS",
     "SUBTEST_PROFILES",
+    "PopulationAggregate",
+    "PopulationModel",
+    "Session",
     "SiteDescription",
     "SiteResource",
     "WORKER_COUNT",
     "alexa_population",
+    "archetype_for_rank",
+    "config_for_rank",
+    "estimate_load_ms",
+    "page_for",
+    "population_cells",
+    "population_sweep",
+    "session_cells",
+    "session_stream",
     "apps_with_differences",
     "compat_survey",
     "figure3_series",

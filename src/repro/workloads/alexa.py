@@ -103,13 +103,17 @@ def figure3_series(
     """config name -> per-site average load times (for the CDF).
 
     Every ``(config, site)`` visit-average is an independent experiment
-    cell, so the sweep shards across ``parallel`` worker processes and
-    caches per site visit (see :mod:`repro.harness.parallel`).
+    cell.  The cell list is a *generator* fed to
+    :meth:`~repro.harness.parallel.ExperimentEngine.stream`, so the
+    sweep shards across ``parallel`` worker processes with only the
+    in-flight window resident — the same path the population sweeps
+    use — while results still arrive in submission order (per-config
+    series keep their rank order).
     """
     from ..harness.parallel import Cell, ExperimentEngine
 
     configs = list(configs or FIGURE3_CONFIGS)
-    cells = [
+    cells = (
         Cell(
             "alexa",
             {"config": config, "rank": rank, "site_count": int(site_count),
@@ -117,10 +121,9 @@ def figure3_series(
         )
         for config in configs
         for rank in range(site_count)
-    ]
-    results = ExperimentEngine(workers=parallel, cache=cache).run(cells)
+    )
     series: Dict[str, List[float]] = {config: [] for config in configs}
-    for result in results:
+    for result in ExperimentEngine(workers=parallel, cache=cache).stream(cells):
         if not result.ok:
             raise RuntimeError(f"alexa cell {result.cell.label()} failed: {result.error}")
         series[result.cell.params["config"]].append(result.payload["avg_ms"])

@@ -93,18 +93,22 @@ def loopscan_target(name: str) -> SiteDescription:
     )
 
 
+#: Weight-class draw profiles shared by :func:`generate_site` and
+#: :func:`site_stats` — both must consume the same seeded sequence.
+SITE_PROFILES = {
+    "light": dict(scripts=(2, 4), script_kb=(20, 120), images=(2, 8),
+                  image_kb=(5, 60), tasks=(3, 8), cost=(0.2, 1.5), nodes=(80, 300)),
+    "medium": dict(scripts=(3, 8), script_kb=(60, 400), images=(5, 20),
+                   image_kb=(10, 150), tasks=(6, 16), cost=(0.3, 3.0), nodes=(200, 900)),
+    "heavy": dict(scripts=(6, 14), script_kb=(150, 900), images=(10, 40),
+                  image_kb=(20, 400), tasks=(10, 30), cost=(0.5, 6.0), nodes=(600, 2500)),
+}
+
+
 def generate_site(host: str, seed: int, weight: str = "medium") -> SiteDescription:
     """Seeded synthetic site in one of three weight classes."""
     rng = random.Random(hash_seed(seed, host))
-    profiles = {
-        "light": dict(scripts=(2, 4), script_kb=(20, 120), images=(2, 8),
-                      image_kb=(5, 60), tasks=(3, 8), cost=(0.2, 1.5), nodes=(80, 300)),
-        "medium": dict(scripts=(3, 8), script_kb=(60, 400), images=(5, 20),
-                       image_kb=(10, 150), tasks=(6, 16), cost=(0.3, 3.0), nodes=(200, 900)),
-        "heavy": dict(scripts=(6, 14), script_kb=(150, 900), images=(10, 40),
-                      image_kb=(20, 400), tasks=(10, 30), cost=(0.5, 6.0), nodes=(600, 2500)),
-    }
-    p = profiles[weight]
+    p = SITE_PROFILES[weight]
     resources: List[SiteResource] = []
     for i in range(rng.randint(*p["scripts"])):
         resources.append(
@@ -128,6 +132,33 @@ def generate_site(host: str, seed: int, weight: str = "medium") -> SiteDescripti
         uses_workers=rng.random() < 0.2,
         dynamic_fraction=rng.random() * 0.15,
     )
+
+
+def site_stats(host: str, seed: int, weight: str = "medium") -> Tuple[int, int, int, float]:
+    """``(total_bytes, script_bytes, dom_nodes, task_cost_ms)`` of the site
+    :func:`generate_site` would build for the same arguments.
+
+    Consumes the identical seeded draw sequence but allocates nothing —
+    the cheap summary closed-form load models need at population scale,
+    where building tens of resource objects per page would dominate a
+    100k-page sweep.
+    """
+    rng = random.Random(hash_seed(seed, host))
+    p = SITE_PROFILES[weight]
+    randint = rng.randint
+    script_bytes = 0
+    for _ in range(randint(*p["scripts"])):
+        script_bytes += randint(*p["script_kb"]) * 1024
+    total_bytes = script_bytes
+    for _ in range(randint(*p["images"])):
+        total_bytes += randint(*p["image_kb"]) * 1024
+    uniform = rng.uniform
+    cost_lo, cost_hi = p["cost"]
+    task_cost_ms = 0.0
+    for _ in range(randint(*p["tasks"])):
+        uniform(1, 12)  # the task's delay draw; stats only need the cost
+        task_cost_ms += uniform(cost_lo, cost_hi)
+    return total_bytes, script_bytes, randint(*p["nodes"]), task_cost_ms
 
 
 def host_site(network: SimNetwork, site: SiteDescription) -> None:

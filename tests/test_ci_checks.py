@@ -437,6 +437,90 @@ def test_committed_fixture_satisfies_the_gate_requirements():
 
 
 # ----------------------------------------------------------------------
+# serve
+# ----------------------------------------------------------------------
+def serve_frames():
+    telemetry = {
+        "errors": 0, "cached": 0, "computed": 2,
+        "quantiles": {"p50": 10.0, "p90": 12.0, "p95": 12.0, "p99": 12.0},
+    }
+    report = {
+        "pages": 4, "cached": 0, "errors": [], "error_overflow": 0,
+        "computed": 4, "cache_hits": 0, "configs": {}, "archetypes": {},
+    }
+    return [
+        {"type": "accepted", "job": "job-1", "kind": "population", "ts": 1.0},
+        {"type": "result", "job": "job-1", "seq": 0, "ok": True, "ts": 1.1},
+        {"type": "telemetry", "job": "job-1", "done": 2, "ts": 1.2, **telemetry},
+        {"type": "result", "job": "job-1", "seq": 2, "ok": True, "ts": 1.3},
+        {"type": "telemetry", "job": "job-1", "done": 4, "ts": 1.4, **telemetry},
+        {"type": "done", "job": "job-1", "report": report, "ts": 1.5},
+    ]
+
+
+def test_check_serve_accepts_a_well_formed_stream(tmp_path):
+    path = write_runlog(tmp_path / "frames.jsonl", serve_frames())
+    assert ci_checks.check_serve(path) == (
+        "ok: 6 frames for job-1 (2 results, 2 telemetry snapshots, final done=4)"
+    )
+
+
+@pytest.mark.parametrize(
+    "mutate, fragment",
+    [
+        (lambda frames: [], "no frames"),
+        (lambda frames: frames[1:], "does not open with an accepted"),
+        (lambda frames: frames[:-1], "does not end with a done"),
+        (lambda frames: [dict(f, job="job-2") if f["type"] == "done" else f
+                         for f in frames], "wrong job"),
+        (lambda frames: [dict(f, seq=0) for f in frames], "seq not monotonically"),
+        (lambda frames: [f for f in frames if f["type"] != "telemetry"],
+         "no telemetry frames"),
+        (lambda frames: [{k: v for k, v in f.items() if k != "computed"}
+                         for f in frames], "missing 'computed'"),
+        (lambda frames: [dict(f, done=1) if f.get("done") == 4 and f["type"] == "telemetry"
+                         else f for f in frames], "done went backwards"),
+        (lambda frames: [{k: v for k, v in f.items() if k != "ts"} for f in frames],
+         "missing 'ts'"),
+        (lambda frames: [dict(f, report=None) if f["type"] == "done" else f
+                         for f in frames], "no report"),
+        (lambda frames: [dict(f, report=dict(f["report"], pages=3))
+                         if f["type"] == "done" else f for f in frames],
+         "does not balance"),
+    ],
+)
+def test_check_serve_rejects_malformed_streams(tmp_path, mutate, fragment):
+    path = write_runlog(tmp_path / "frames.jsonl", mutate(serve_frames()))
+    with pytest.raises(CheckFailure, match=fragment):
+        ci_checks.check_serve(path)
+
+
+def test_check_serve_rejects_non_json_lines(tmp_path):
+    path = tmp_path / "frames.jsonl"
+    path.write_text("not json\n")
+    with pytest.raises(CheckFailure, match="not JSON"):
+        ci_checks.check_serve(str(path))
+
+
+def test_check_serve_validates_a_real_captured_stream(tmp_path):
+    from repro.serve import ExperimentServer, submit_and_stream
+
+    server = ExperimentServer(str(tmp_path / "ci.sock"))
+    server.start()
+    try:
+        job = {"kind": "population", "size": 40, "seed": 0,
+               "telemetry_every": 10, "result_every": 10}
+        path = write_runlog(
+            tmp_path / "frames.jsonl",
+            list(submit_and_stream(server.socket_path, job, timeout=60.0)),
+        )
+    finally:
+        server.shutdown()
+    assert ci_checks.check_serve(path).startswith("ok: ")
+    assert ci_checks.main(["serve", path]) == 0
+
+
+# ----------------------------------------------------------------------
 # CLI plumbing
 # ----------------------------------------------------------------------
 def test_main_returns_zero_on_success(tmp_path, capsys):

@@ -1,0 +1,216 @@
+"""Tests for the seeded population model (repro.workloads.population).
+
+Three properties carry the subsystem: every page is a pure function of
+``(rank, seed)`` so workers regenerate instead of receiving; the model
+fast path (``site_stats`` + closed form) equals the full description
+path exactly; and a sweep's resident memory is bounded by the stream
+window + sketches, independent of population size — verified here with
+a 50k-vs-5k tracemalloc comparison, the PR's acceptance test.
+"""
+
+import tracemalloc
+
+import pytest
+
+from repro.runtime.rng import hash_seed
+from repro.workloads.population import (
+    ARCHETYPES,
+    DEFAULT_BROWSER_MIX,
+    PopulationAggregate,
+    PopulationModel,
+    archetype_for_rank,
+    band_for_rank,
+    config_for_rank,
+    estimate_load_ms,
+    page_for,
+    population_sweep,
+    run_population_page,
+    session_stream,
+    zipf_rank,
+)
+from repro.workloads.sites import generate_site, site_stats
+
+
+# ----------------------------------------------------------------------
+# purity: pages are functions of (rank, seed)
+# ----------------------------------------------------------------------
+def test_page_for_is_pure_and_seeded():
+    one = page_for(1234, seed=7)
+    two = page_for(1234, seed=7)
+    assert one.host == two.host
+    assert [r.size_bytes for r in one.resources] == [r.size_bytes for r in two.resources]
+    assert one.task_pattern == two.task_pattern
+    assert one.dom_nodes == two.dom_nodes
+    other = page_for(1234, seed=8)
+    assert (other.host, other.dom_nodes, other.task_pattern) != (
+        one.host, one.dom_nodes, one.task_pattern
+    )
+
+
+def test_page_host_carries_archetype_and_rank():
+    page = page_for(42, seed=0)
+    archetype = archetype_for_rank(42, 0)
+    assert page.host == f"{archetype}0000042.example"
+
+
+@pytest.mark.parametrize("host,seed,weight", [
+    ("news0000001.example", 11, "heavy"),
+    ("docs0001234.example", 0, "light"),
+    ("shop0099999.example", 5, "medium"),
+])
+def test_site_stats_matches_the_generated_site(host, seed, weight):
+    site = generate_site(host, seed, weight)
+    total, script, nodes, task_ms = site_stats(host, seed, weight)
+    assert total == site.total_bytes()
+    assert script == sum(r.size_bytes for r in site.resources if r.kind == "script")
+    assert nodes == site.dom_nodes
+    assert task_ms == pytest.approx(sum(cost for _t, cost in site.task_pattern))
+
+
+@pytest.mark.parametrize("rank", [0, 7, 999, 43_210, 999_999])
+def test_model_mode_equals_the_closed_form_over_the_full_page(rank):
+    seed = 3
+    outcome = run_population_page(rank, seed)
+    page = page_for(rank, seed)
+    archetype = archetype_for_rank(rank, seed)
+    config = config_for_rank(rank, seed)
+    visit_seed = hash_seed(seed, f"pop:visit:{rank}:{config}:0")
+    expected = estimate_load_ms(page, config, visit_seed, archetype)
+    assert outcome["load_ms"] == round(expected, 3)
+    assert outcome["archetype"] == archetype
+    assert outcome["config"] == config
+
+
+def test_sim_mode_runs_the_simulator_and_stays_deterministic():
+    one = run_population_page(3, seed=1, size=100, mode="sim")
+    two = run_population_page(3, seed=1, size=100, mode="sim")
+    assert one == two
+    assert one["load_ms"] > 0
+
+
+# ----------------------------------------------------------------------
+# the rank distribution
+# ----------------------------------------------------------------------
+def test_band_boundaries():
+    assert band_for_rank(0, 1000) == "head"
+    assert band_for_rank(9, 1000) == "head"
+    assert band_for_rank(10, 1000) == "torso"
+    assert band_for_rank(199, 1000) == "torso"
+    assert band_for_rank(200, 1000) == "tail"
+    assert band_for_rank(999, 1000) == "tail"
+    with pytest.raises(ValueError):
+        band_for_rank(1000, 1000)
+
+
+def test_browser_mix_is_respected_in_aggregate():
+    size = 2000
+    counts = {}
+    for rank in range(size):
+        config = config_for_rank(rank, seed=0)
+        counts[config] = counts.get(config, 0) + 1
+    for config, share in DEFAULT_BROWSER_MIX:
+        assert counts.get(config, 0) == pytest.approx(share * size, rel=0.25), config
+
+
+def test_archetypes_follow_the_band_mix():
+    size = 5000
+    tail = {}
+    for rank in range(size // 5, size):  # the tail band
+        arch = archetype_for_rank(rank, seed=0, size=size)
+        tail[arch] = tail.get(arch, 0) + 1
+    # blogs dominate the tail (weight 4 of 10 in BAND_MIX["tail"])
+    assert tail["blog"] == max(tail.values())
+    assert set(tail) <= set(ARCHETYPES)
+
+
+def test_zipf_rank_is_log_uniform_and_clamped():
+    assert zipf_rank(0.0, 1_000_000) == 0
+    assert zipf_rank(1.0, 1_000_000) == 999_999
+    assert zipf_rank(0.5, 1_000_000) == 999  # sqrt(1e6) - 1
+    # the head is visited far more often than uniform would give it
+    hits = sum(1 for i in range(1000) if zipf_rank(i / 1000.0, 1_000_000) < 10_000)
+    assert hits > 300
+    with pytest.raises(ValueError):
+        zipf_rank(0.5, 0)
+
+
+# ----------------------------------------------------------------------
+# sessions
+# ----------------------------------------------------------------------
+def test_session_stream_is_deterministic_with_monotone_arrivals():
+    model = PopulationModel(size=10_000, seed=9)
+    first = list(session_stream(model, count=50))
+    again = list(session_stream(model, count=50))
+    assert first == again
+    arrivals = [s.arrival_s for s in first]
+    assert arrivals == sorted(arrivals)
+    assert all(s.pages and min(s.pages) >= 0 and max(s.pages) < 10_000 for s in first)
+    assert {s.config for s in first} <= {name for name, _ in DEFAULT_BROWSER_MIX}
+
+
+def test_session_stream_is_a_prefix_stable_renewal_process():
+    model = PopulationModel(size=10_000, seed=9)
+    short = list(session_stream(model, count=10))
+    long = list(session_stream(model, count=25))
+    assert long[:10] == short
+
+
+# ----------------------------------------------------------------------
+# bounded-memory aggregation
+# ----------------------------------------------------------------------
+def test_sweep_report_balances_and_merges_by_config():
+    report = population_sweep(400, seed=1)
+    assert report["pages"] == 400
+    assert report["computed"] == 400
+    assert report["errors"] == []
+    assert sum(c["count"] for c in report["configs"].values()) == 400
+    assert sum(a["count"] for a in report["archetypes"].values()) == 400
+    for summary in report["configs"].values():
+        assert summary["mean_ms"] > 0
+
+
+def test_sweep_is_identical_serial_and_parallel():
+    serial = population_sweep(120, seed=4)
+    pooled = population_sweep(120, seed=4, parallel=2)
+    assert pooled == serial
+
+
+def test_aggregate_caps_the_error_list():
+    class Boom:
+        def __init__(self, i):
+            self.ok = False
+            self.cached = False
+            self.error = "boom"
+            self.cell = type("C", (), {"label": lambda self: f"cell-{i}"})()
+
+    aggregate = PopulationAggregate(max_errors=3)
+    for i in range(10):
+        aggregate.add(Boom(i))
+    report = aggregate.report()
+    assert len(report["errors"]) == 3
+    assert report["error_overflow"] == 7
+    assert report["pages"] == 0
+
+
+# ----------------------------------------------------------------------
+# acceptance: resident memory is flat in the population size
+# ----------------------------------------------------------------------
+def _traced_peak(size):
+    tracemalloc.start()
+    try:
+        report = population_sweep(size, seed=0)
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert report["pages"] == size
+    return peak
+
+
+def test_sweep_memory_is_bounded_independent_of_population_size():
+    population_sweep(500, seed=0)  # warm imports/caches outside the trace
+    small_peak = _traced_peak(5_000)
+    large_peak = _traced_peak(50_000)
+    # 10x the pages must not cost 10x the memory: the stream window and
+    # the sketches are the only resident state, so the peaks stay within
+    # a small constant factor of each other.
+    assert large_peak < small_peak * 3, (small_peak, large_peak)

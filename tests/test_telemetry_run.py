@@ -111,17 +111,53 @@ def test_module_span_is_a_noop_without_a_recorder(tmp_path):
     assert [r["ev"] for r in read_records(recorder.path)] == ["span_begin", "span_end"]
 
 
-def test_worker_recorder_reopens_the_inherited_path(tmp_path, monkeypatch):
+def test_worker_recorder_opens_the_inherited_path_once(tmp_path, monkeypatch):
+    from repro.telemetry import spans as spans_mod
+
     path = str(tmp_path / "run.jsonl")
     monkeypatch.setenv("REPRO_RUNLOG", path)
+    monkeypatch.setattr(spans_mod, "_active", None)
+
+    opens = []
+    real_init = SpanRecorder.__init__
+
+    def counting_init(self, recorder_path):
+        opens.append(recorder_path)
+        real_init(self, recorder_path)
+
+    monkeypatch.setattr(SpanRecorder, "__init__", counting_init)
+
     recorder = worker_recorder()
     assert recorder is not None and recorder.path == path
+    # regression: a long-lived pool worker calls worker_recorder() once
+    # per chunk; it must reuse the cached recorder (one fd, one lock),
+    # not construct a fresh SpanRecorder per call
+    for _ in range(5):
+        assert worker_recorder() is recorder
+    assert opens == [path]
+    assert current_recorder() is recorder  # installed ambiently
+
     recorder.point("from-worker")
-    recorder.close()
     assert read_records(path)[0]["name"] == "from-worker"
 
+    # a *changed* inherited path (new telemetry session in the parent)
+    # does trigger one reopen
+    other = str(tmp_path / "other.jsonl")
+    monkeypatch.setenv("REPRO_RUNLOG", other)
+    reopened = worker_recorder()
+    assert reopened is not recorder and reopened.path == other
+    assert opens == [path, other]
+
+    # with no inherited path the cached recorder still serves (the
+    # parent process inside a telemetry session), and with neither a
+    # cache nor a path there is nothing to record to
     monkeypatch.delenv("REPRO_RUNLOG")
+    assert worker_recorder() is reopened
+    monkeypatch.setattr(spans_mod, "_active", None)
     assert worker_recorder() is None
+
+    recorder.close()
+    reopened.close()
 
 
 # ----------------------------------------------------------------------
@@ -139,7 +175,9 @@ def test_live_reporter_renders_progress_and_throttles():
     clock = FakeClock()
     stream = io.StringIO()
     telemetry = RunTelemetry("cube")
-    telemetry.reporter = LiveReporter("cube", stream=stream, interval=0.2, now=clock)
+    telemetry.reporter = LiveReporter(
+        "cube", stream=stream, interval=0.2, now=clock, interactive=True
+    )
     telemetry.engine_run_started(cells=4, workers=2)
     telemetry.shards_planned(2)
 
@@ -166,6 +204,48 @@ def test_live_reporter_renders_progress_and_throttles():
     assert "shard 1/2" in line
     assert "q-delay p50" in line
     assert "eta" in line
+
+
+def test_live_reporter_falls_back_to_newlines_off_tty():
+    clock = FakeClock()
+    stream = io.StringIO()  # StringIO has no isatty -> detected non-interactive
+    telemetry = RunTelemetry("cube")
+    reporter = LiveReporter("cube", stream=stream, interval=0.2, now=clock)
+    telemetry.reporter = reporter
+    assert reporter.interactive is False
+    # the non-interactive throttle is much coarser than the TTY repaint
+    assert reporter.interval == 5.0
+
+    telemetry.engine_run_started(cells=4, workers=2)
+    cell = Cell("cube", {"attack": "a", "defense": "d", "seed": 0})
+    clock.moment += 6.0
+    telemetry.cell_finished(cell, ok=True, cached=False)
+    clock.moment += 1.0  # under the 5s throttle: no line
+    telemetry.cell_finished(cell, ok=True, cached=False)
+    clock.moment += 6.0
+    telemetry.cell_finished(cell, ok=True, cached=False)
+    reporter.finish(telemetry)
+
+    output = stream.getvalue()
+    # newline-delimited progress lines, never the \r-overwrite trick
+    # (piped to a CI log, \r would concatenate every repaint into one line)
+    assert "\r" not in output
+    lines = output.splitlines()
+    assert len(lines) == 3  # two throttled updates + the final repaint
+    assert all(line.startswith("cube") for line in lines)
+    assert "3/4 cells" in lines[-1]
+    # and the explicit override still forces TTY behaviour
+    forced = LiveReporter("cube", stream=io.StringIO(), now=clock, interactive=True)
+    assert forced.interactive is True and forced.interval == 0.2
+
+
+def test_live_reporter_detects_a_tty(monkeypatch):
+    class TtyStream(io.StringIO):
+        def isatty(self):
+            return True
+
+    reporter = LiveReporter("cube", stream=TtyStream())
+    assert reporter.interactive is True
 
 
 def _sketch_of(values):

@@ -384,6 +384,103 @@ def check_telemetry(json_path: str, prom_path: Optional[str] = None) -> str:
 
 
 # ----------------------------------------------------------------------
+# serve-smoke: a streamed job's frame log is well-formed and complete
+# ----------------------------------------------------------------------
+def check_serve(path: str) -> str:
+    """Validate a captured ``repro serve`` frame stream (JSONL).
+
+    The file is what ``python -m repro serve --submit ... --out FILE``
+    writes: every frame the server streamed for one job.  Checks: every
+    line is a JSON object with ``type`` and ``ts``; the stream opens
+    with ``accepted`` and ends with ``done``; ``result`` frames carry
+    monotonically increasing ``seq``; at least one ``telemetry`` frame
+    appears with the progress schema (``done``/``errors``/``cached``/
+    ``computed``/``quantiles``) and non-decreasing ``done`` counts; and
+    the final report's accounting balances (``pages + errors ==
+    computed + cache_hits`` for population jobs).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle.read().splitlines() if line.strip()]
+    except OSError as exc:
+        raise CheckFailure(f"cannot read {path!r}: {exc}")
+    if not lines:
+        raise CheckFailure(f"{path}: no frames captured")
+
+    frames = []
+    for number, line in enumerate(lines, start=1):
+        try:
+            frame = json.loads(line)
+        except ValueError as exc:
+            raise CheckFailure(f"{path}:{number}: not JSON: {exc}")
+        if not isinstance(frame, dict):
+            raise CheckFailure(f"{path}:{number}: frame is not an object")
+        for key in ("type", "ts"):
+            if key not in frame:
+                raise CheckFailure(f"{path}:{number}: frame missing {key!r}")
+        frames.append(frame)
+
+    first, last = frames[0], frames[-1]
+    if first["type"] != "accepted" or not first.get("job"):
+        raise CheckFailure(f"{path}: stream does not open with an accepted frame: {first}")
+    if last["type"] != "done":
+        raise CheckFailure(f"{path}: stream does not end with a done frame: {last['type']}")
+    job = first["job"]
+    for number, frame in enumerate(frames[1:], start=2):
+        if frame.get("job") != job:
+            raise CheckFailure(f"{path}:{number}: frame for wrong job: {frame.get('job')!r}")
+
+    previous_seq = -1
+    results = 0
+    for frame in frames:
+        if frame["type"] != "result":
+            continue
+        results += 1
+        seq = frame.get("seq")
+        if not isinstance(seq, int) or seq <= previous_seq:
+            raise CheckFailure(
+                f"{path}: result seq not monotonically increasing: "
+                f"{seq!r} after {previous_seq}"
+            )
+        previous_seq = seq
+
+    telemetry = [frame for frame in frames if frame["type"] == "telemetry"]
+    if not telemetry:
+        raise CheckFailure(f"{path}: no telemetry frames in the stream")
+    previous_done = 0
+    for frame in telemetry:
+        for key in ("done", "errors", "cached", "computed", "quantiles"):
+            if key not in frame:
+                raise CheckFailure(f"{path}: telemetry frame missing {key!r}: {frame}")
+        if not isinstance(frame["quantiles"], dict):
+            raise CheckFailure(f"{path}: telemetry quantiles is not an object")
+        if frame["done"] < previous_done:
+            raise CheckFailure(
+                f"{path}: telemetry done went backwards: "
+                f"{frame['done']} after {previous_done}"
+            )
+        previous_done = frame["done"]
+
+    report = last.get("report")
+    if not isinstance(report, dict):
+        raise CheckFailure(f"{path}: done frame has no report object")
+    if "pages" in report:  # population jobs: accounting must balance
+        measured = report["pages"] + len(report.get("errors", [])) \
+            + report.get("error_overflow", 0)
+        executed = report.get("computed", 0) + report.get("cache_hits", 0)
+        if measured != executed:
+            raise CheckFailure(
+                f"{path}: report accounting does not balance: "
+                f"{measured} outcomes != {executed} executed cells"
+            )
+
+    return (
+        f"ok: {len(frames)} frames for {job} ({results} results, "
+        f"{len(telemetry)} telemetry snapshots, final done={previous_done})"
+    )
+
+
+# ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 def main(argv: Optional[List[str]] = None) -> int:
@@ -420,6 +517,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--prom", default=None, help="Prometheus text export to validate too"
     )
 
+    p_serve = sub.add_parser(
+        "serve", help="validate a captured serve frame stream (JSONL)"
+    )
+    p_serve.add_argument("path", help="frame JSONL file (serve --submit --out)")
+
     opts = parser.parse_args(argv)
     try:
         if opts.command == "trace":
@@ -434,6 +536,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             summary = check_runlog(opts.path)
         elif opts.command == "telemetry":
             summary = check_telemetry(opts.path, prom_path=opts.prom)
+        elif opts.command == "serve":
+            summary = check_serve(opts.path)
         else:
             summary = check_cube(opts.path, opts.expected, cdf_out=opts.cdf_out)
     except CheckFailure as exc:
