@@ -15,7 +15,15 @@ causal structure the runtime and kernel record:
   precede the termination, so chaining it there would invent edges);
 * **kernel lifecycle** — the ``b``/``n``/``e`` legs of one kernel event
   span (registration → confirmation → dispatch/cancel) are chained, and
-  each leg also orders within the thread that performed it (``ctx``).
+  each leg also orders within the thread that performed it (``ctx``);
+* **lock edges** — a ``lock.release`` happens-before the next
+  ``lock.acquired`` on the same lock object (ownership is reserved for
+  the woken waiter at release time, so the pairing is exact); this is
+  what makes the race detector lock-set aware: accesses inside two
+  critical sections of one lock are always ordered;
+* **wait/notify edges** — ``atomics.notify`` happens-before every
+  ``atomics.wake`` it causes, via the notify's fresh ``flow`` id (the
+  generic flow machinery below).
 
 Soundness rests on an emission-order invariant of the tracer: within one
 row, emission order is program order, and every cross-row edge recorded
@@ -147,6 +155,7 @@ def build_hb_graph(events: List[dict], pid: Optional[int] = None) -> HBGraph:
     rows: Dict[str, int] = {}  # row name -> index of last event on it
     flow_heads: Dict[int, int] = {}  # flow id -> index of the cause event
     span_tails: Dict[Tuple[str, int], int] = {}  # (row, span id) -> last leg
+    lock_releases: Dict[str, int] = {}  # lock obj -> index of last release
 
     for raw in events:
         if raw.get("pid") != pid or raw.get("ph") == "M":
@@ -180,6 +189,13 @@ def build_hb_graph(events: List[dict], pid: Optional[int] = None) -> HBGraph:
             _chain(rows, node.thread, node)
         else:
             _chain(rows, node.thread, node)
+
+        if name == "lock.acquired":
+            prev_release = lock_releases.get(args.get("obj", ""))
+            if prev_release is not None:
+                node.preds.append(prev_release)
+        elif name == "lock.release":
+            lock_releases[args.get("obj", "")] = node.index
 
         flow = args.get("flow", 0)
         if flow:

@@ -12,8 +12,17 @@ Patterns are classified for reporting:
   the fetch-abort lifecycle bug (CVE-2018-5092) produces exactly this
   pair when worker teardown frees a request that the abort signal still
   dereferences;
+* ``use-after-collect`` — a shared-memory (``shm-*``) cell's GC ``free``
+  racing any other access: the thread-local-roots collector sweeping an
+  object another agent still uses;
 * ``write-write`` — two unordered writes;
 * ``read-write`` — everything else.
+
+The detector is lock-set aware through the happens-before graph rather
+than an explicit lock-set algorithm: ``lock.release`` → ``lock.acquired``
+edges (see :mod:`repro.analysis.hbgraph`) totally order the critical
+sections of each lock, so accesses correctly guarded by a common lock are
+never reported — pinned by the ``shm-toctou-locked`` scenario test.
 """
 
 from __future__ import annotations
@@ -69,6 +78,8 @@ def _classify(kind: str, first, second) -> str:
     accesses = {first.args.get("access"), second.args.get("access")}
     if kind == "heap" and "free" in accesses and "deref" in accesses:
         return "use-after-free"
+    if kind.startswith("shm-") and "free" in accesses:
+        return "use-after-collect"
     if ops == ("write", "write"):
         return "write-write"
     return "read-write"

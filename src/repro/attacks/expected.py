@@ -116,6 +116,23 @@ def _expected_cell(attack: str, defense: str) -> bool:
     raise KeyError(f"no expectation for defense {defense!r}")
 
 
+#: The paper-extending finding (pinned by test): clock-interposition
+#: defenses that leave shared-memory accesses native are bypassed by the
+#: counter-thread clock — the attack touches no clock API at all, so
+#: fuzzing/clamping explicit clocks never sees it.  Defenses that
+#: mediate the memory itself (jskernel's slot pacing, detbrowser's
+#: metronome) are expected to hold.
+EXPECTED_BYPASSES: Dict[str, Dict[str, bool]] = {
+    # attack -> defense -> defended? (False = demonstrably bypassed)
+    "counter-thread-clock": {
+        "fuzzyfox": False,
+        "tor": False,
+        "jskernel": True,
+        "detbrowser": True,
+    },
+}
+
+
 def expected_row(attack: str) -> Dict[str, bool]:
     """One Table I row."""
     return expected_matrix()[attack]

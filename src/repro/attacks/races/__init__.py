@@ -1,0 +1,26 @@
+"""Shared-memory race scenarios (extension rows).
+
+Four hazards the shared-object runtime makes expressible, each an
+end-to-end scenario in the defense × attack cube:
+
+* :class:`SharedDictToctouAttack` / :class:`SharedDictToctouLockedAttack`
+  — check-then-act double spend on a shared dict, racy and lock-fixed;
+* :class:`LockOrderDeadlockAttack` — the ABBA lock-ordering deadlock;
+* :class:`GcVsMutatorAttack` — use-after-collect under the buggy
+  thread-local-roots collector;
+* :class:`CounterThreadClockAttack` — the Hacky-Racers counter-thread
+  timer (no clock API touched at all).
+"""
+
+from .counter_clock import CounterThreadClockAttack
+from .deadlock import LockOrderDeadlockAttack
+from .gc_mutator import GcVsMutatorAttack
+from .toctou import SharedDictToctouAttack, SharedDictToctouLockedAttack
+
+__all__ = [
+    "CounterThreadClockAttack",
+    "GcVsMutatorAttack",
+    "LockOrderDeadlockAttack",
+    "SharedDictToctouAttack",
+    "SharedDictToctouLockedAttack",
+]

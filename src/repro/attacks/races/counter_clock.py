@@ -1,0 +1,63 @@
+"""Counter-thread clock (Hacky Racers): a timer with no clock API.
+
+The sharedmem sibling of the SAB counter timer, and the paper-extending
+finding this PR pins: a helper worker spins ``Atomics.add`` on a shared
+cell and the main thread brackets a secret operation with two loads.  No
+``performance.now``, no ``Date``, no setTimeout edge — *nothing a
+clock-fuzzing defense interposes on* — so Fuzzyfox and Tor, which clamp
+or fuzz the explicit clocks and leave shared-memory accesses native, are
+demonstrably bypassed (``EXPECTED_BYPASSES`` in
+:mod:`repro.attacks.expected`, pinned by test).
+
+The defenses that mediate the *memory* rather than the clocks do hold:
+JSKernel paces every load onto its message-slot grid (the counter value
+is a function of when the load lands, so grid-aligned loads read
+grid-resolution time), and DetBrowser's metronome answers loads from the
+reader's deterministic clock.
+"""
+
+from __future__ import annotations
+
+from ..base import TimingAttack, run_until_key
+
+#: Helper-worker increment rate (counts per millisecond).
+COUNTER_RATE = 1_000.0
+
+#: Sub-grid secrets: distinguishable at native resolution, identical on
+#: a 1 ms kernel grid.
+SECRETS_MS = {"short": 0.22, "long": 0.67}
+
+
+class CounterThreadClockAttack(TimingAttack):
+    """Time a sub-millisecond operation with a worker spin counter."""
+
+    name = "counter-thread-clock"
+    row = "Counter-thread clock, Hacky Racers (extension)"
+    group = "race"
+    secret_a = "short"
+    secret_b = "long"
+
+    def measure(self, browser, page, secret: str) -> float:
+        box: dict = {}
+        duration_ms = SECRETS_MS[secret]
+
+        def attack(scope) -> None:
+            clock = scope.sharedmem.CounterClock("hacky")
+
+            def worker_main(ws) -> None:
+                clock.start(COUNTER_RATE)
+                ws.postMessage("spinning")
+
+            worker = scope.Worker(worker_main)
+
+            def on_spinning(_event) -> None:
+                before = clock.read()
+                scope.busy_work(duration_ms)
+                after = clock.read()
+                box["measurement"] = float(after - before)
+                worker.terminate()
+
+            worker.onmessage = on_spinning
+
+        page.run_script(attack)
+        return run_until_key(browser, box, "measurement", self.timeout_ms)

@@ -1,0 +1,65 @@
+"""GC-vs-mutator: use-after-collect under the buggy shared collector.
+
+The legacy shared GC (``shm_gc_thread_roots``) marks from the
+*triggering* agent's roots only and sweeps asynchronously without
+pausing anyone.  The scenario exploits exactly that window: a worker
+adopts (roots) the main thread's session dict, main drops its own root
+and triggers a collection — which, scanning only main's roots, condemns
+a dict another agent still legitimately holds — and the worker's next
+read lands after the deferred sweep, raising
+:class:`~repro.errors.UseAfterCollectError` (a browser crash).
+
+JSKernel defends structurally: its sharedmem policy ``guards_gc``, so
+the kernel-mediated collection entry point always takes the safe
+stop-the-world path (every agent's roots scanned, mutators paused) and
+the buggy native fast path is never reached.  Clock-only defenses leave
+the memory-safety bug fully exploitable, mirroring how the CVE rows
+split in Table I.
+"""
+
+from __future__ import annotations
+
+from ..base import CveAttack, run_until_key
+
+#: Worker's read lands this long after it adopts — past the unsafe
+#: sweep's deferral window.
+LATE_READ_DELAY_MS = 2.0
+
+
+class GcVsMutatorAttack(CveAttack):
+    """Trigger the thread-local-roots collector against a live mutator."""
+
+    name = "gc-vs-mutator"
+    row = "Shared GC vs mutator use-after-collect (extension)"
+    group = "race"
+    cve = "shm_gc_thread_roots"
+
+    def attempt(self, browser, page) -> bool:
+        box: dict = {}
+
+        def attack(scope) -> None:
+            session = scope.sharedmem.Dict("session")
+            session.set("token", "secret")
+
+            def worker_main(ws) -> None:
+                ws.sharedmem.adopt(session)
+
+                def late_read() -> None:
+                    box["value"] = session.get("token")
+
+                ws.setTimeout(late_read, LATE_READ_DELAY_MS)
+                ws.postMessage("adopted")
+
+            worker = scope.Worker(worker_main)
+
+            def on_adopted(_event) -> None:
+                # main no longer needs the dict: drop the root and collect
+                scope.sharedmem.drop(session)
+                scope.sharedmem.collect(reason="idle")
+
+            worker.onmessage = on_adopted
+
+        page.run_script(attack)
+        # a vulnerable collector raises UseAfterCollectError out of here
+        value = run_until_key(browser, box, "value", self.timeout_ms)
+        return value != "secret"

@@ -19,6 +19,13 @@ from .cves import (
     Cve2017_7843,
     Cve2018_5092,
 )
+from .races import (
+    CounterThreadClockAttack,
+    GcVsMutatorAttack,
+    LockOrderDeadlockAttack,
+    SharedDictToctouAttack,
+    SharedDictToctouLockedAttack,
+)
 from .timing.sab_timer import SabTimerAttack
 from .timing import (
     CacheAttack,
@@ -65,6 +72,11 @@ TABLE1_ATTACKS: List[Type[Attack]] = [
 #: Extension attacks beyond Table I (see each module's docstring).
 EXTENSION_ATTACKS: List[Type[Attack]] = [
     SabTimerAttack,
+    SharedDictToctouAttack,
+    SharedDictToctouLockedAttack,
+    LockOrderDeadlockAttack,
+    GcVsMutatorAttack,
+    CounterThreadClockAttack,
 ]
 
 _by_name: Dict[str, Type[Attack]] = {

@@ -30,6 +30,7 @@ from __future__ import annotations
 from ..kernel.policies.deterministic import DeterministicSchedulingPolicy
 from ..kernel.policy import CompositePolicy, SchedulingGrid
 from ..runtime.clock import DeterministicClockPolicy
+from ..runtime.sharedmem import AccessPolicy as SharedMemAccessPolicy
 from ..runtime.simtime import MS, us
 from .backend import ClockSlot, DefenseBackend, SchedulerSlot, WorkerSlot
 from .deterministic import install_deterministic_delivery
@@ -66,8 +67,8 @@ class DetBrowser(DefenseBackend):
     def worker_slot(self, browser) -> WorkerSlot:
         """Map SAB-counter reads onto the reader's deterministic clock."""
         return WorkerSlot(
-            page_hook=lambda page: self._wrap_shared_buffers(page.scope),
-            worker_hook=lambda agent: self._wrap_shared_buffers(agent.scope),
+            page_hook=lambda page: self._wrap_shared(page.scope),
+            worker_hook=lambda agent: self._wrap_shared(agent.scope),
         )
 
     # ------------------------------------------------------------------
@@ -79,6 +80,12 @@ class DetBrowser(DefenseBackend):
         page.scope.Date.policy = DeterministicClockPolicy(self.quantum_ns)
         page.detbrowser_kspace = kspace
 
+    def _wrap_shared(self, scope) -> None:
+        self._wrap_shared_buffers(scope)
+        api = getattr(scope, "sharedmem", None)
+        if api is not None:
+            api.set_policy(DetSharedMemPolicy(self.quantum_ns))
+
     def _wrap_shared_buffers(self, scope) -> None:
         native_factory = scope.SharedArrayBuffer
         quantum_ns = self.quantum_ns
@@ -87,6 +94,36 @@ class DetBrowser(DefenseBackend):
             return DetSharedBuffer(native_factory(size), quantum_ns)
 
         scope.SharedArrayBuffer = det_shared_buffer
+
+
+class DetSharedMemPolicy(SharedMemAccessPolicy):
+    """Shared-memory policy: counter reads become a metronome.
+
+    The structured-runtime analogue of :class:`DetSharedBuffer`.  The
+    policy is installed per scope, so each agent carries its own
+    deterministic read counts (the paper's per-thread logical clocks);
+    a counter-style load reports the value the declared spin rate would
+    have reached at the *reader's* deterministic time — read count ×
+    quantum — never the writer's true progress.  Non-counter accesses
+    pass through natively: DetBrowser polices clocks, not memory safety,
+    which is why the GC-vs-mutator row stays exploitable under it.
+    """
+
+    name = "detbrowser"
+    guards_gc = False
+
+    def __init__(self, quantum_ns: int):
+        self.quantum_ns = quantum_ns
+        self._reads = {}
+
+    def counter_value(self, cell, core, raw: int) -> int:
+        reads = self._reads.get(cell.addr, 0) + 1
+        self._reads[cell.addr] = reads
+        activity = core.activity
+        if activity is None:
+            return raw
+        det_ms = (reads * self.quantum_ns) / MS
+        return activity.base + int(det_ms * activity.rate_per_ms)
 
 
 class DetSharedBuffer:

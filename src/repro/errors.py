@@ -53,6 +53,15 @@ class NullDerefError(BrowserCrash):
     """A null native pointer was dereferenced."""
 
 
+class UseAfterCollectError(BrowserCrash):
+    """A shared object swept by the shared GC was accessed.
+
+    The shared-memory analogue of :class:`UseAfterFreeError`: a buggy
+    collector (``shm_gc_thread_roots``) condemned a cell still rooted by
+    another agent, and that agent touched it after the sweep.
+    """
+
+
 class SecurityError(ReproError):
     """An operation was blocked by a security policy.
 

@@ -14,6 +14,13 @@ JSON verdict from four oracle batteries:
   emits a ``kernel.order-violation`` trace instant whenever that fails
   (see :mod:`repro.kernel.dispatcher`), and any such instant is a kernel
   bug by definition;
+* **shared memory** — the shared heap emits a ``sharedmem.deadlock``
+  instant when its wait-for graph closes a cycle and a
+  ``sharedmem.leak`` instant when a cycle-blind collector strands
+  unreachable cells (see :mod:`repro.runtime.sharedmem.heap`); these
+  become ``deadlock`` / ``shared-leak`` failures.  Both are *liveness*
+  findings about the program, not defense escapes, so
+  :func:`security_failures` excludes them from differential comparison;
 * **determinism** — the trial is run a *second* time with byte-identical
   inputs; any schedule or outcome divergence means the implementation
   leaked nondeterminism (global RNG state, iteration-order dependence) —
@@ -98,6 +105,16 @@ def kernel_order_violations(events: List[dict]) -> int:
     return sum(1 for event in events if event.get("name") == "kernel.order-violation")
 
 
+def sharedmem_deadlocks(events: List[dict]) -> int:
+    """How many wait-for cycles the shared heap detected."""
+    return sum(1 for event in events if event.get("name") == "sharedmem.deadlock")
+
+
+def sharedmem_leaks(events: List[dict]) -> int:
+    """How many GC runs stranded unreachable-but-referenced cells."""
+    return sum(1 for event in events if event.get("name") == "sharedmem.leak")
+
+
 def merged_schedule(events: List[dict]) -> Schedule:
     """All runs' dispatch schedules folded into one row-keyed schedule."""
     merged: Dict[str, List[Tuple[str, int]]] = {}
@@ -137,6 +154,8 @@ def evaluate_run(
                 uaf_races += 1
 
     violations = kernel_order_violations(tracer.events)
+    deadlocks = sharedmem_deadlocks(tracer.events)
+    shared_leaks = sharedmem_leaks(tracer.events)
 
     failures = [f"race:{pattern}" for pattern in patterns]
     if outcome.startswith(CRASH_MARKERS):
@@ -145,6 +164,10 @@ def evaluate_run(
         failures.append("leak")
     if violations:
         failures.append("kernel:order-violation")
+    if deadlocks:
+        failures.append("deadlock")
+    if shared_leaks:
+        failures.append("shared-leak")
 
     divergence = None
     if check_determinism:
@@ -165,6 +188,8 @@ def evaluate_run(
         "uaf_races": uaf_races,
         "race_patterns": sorted(patterns),
         "order_violations": violations,
+        "deadlocks": deadlocks,
+        "shared_leaks": shared_leaks,
         "divergence": divergence,
         "failures": failures,
         "interesting": bool(failures),
@@ -240,6 +265,8 @@ __all__ = [
     "kernel_order_violations",
     "merged_schedule",
     "security_failures",
+    "sharedmem_deadlocks",
+    "sharedmem_leaks",
     "signature",
     "traced_run",
 ]

@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, Optional
 
 from ..runtime.messaging import MessageEvent
 from ..runtime.promises import SimPromise
+from ..runtime.sharedmem import AccessPolicy as SharedMemAccessPolicy
 from ..runtime.simtime import ms, to_ms
 from . import comm
 from .kclock import KernelDate, KernelPerformance
@@ -361,6 +362,23 @@ class KernelInterface:
         scope.SharedArrayBuffer = k_shared_buffer
 
     # ------------------------------------------------------------------
+    # shared-memory object runtime
+    # ------------------------------------------------------------------
+    def install_sharedmem(self, scope) -> None:
+        """Interpose the shared-object runtime for this scope.
+
+        Every access (dict/array ops, atomics, the counter-thread clock's
+        loads) becomes a kernel crossing paced onto the message-slot
+        grid, and — because the policy guards collection — the shared GC
+        is forced onto the safe stop-the-world path regardless of the
+        profile's bug flags.
+        """
+        api = getattr(scope, "sharedmem", None)
+        if api is None:
+            return
+        api.set_policy(KernelSharedMemPolicy(self.kspace))
+
+    # ------------------------------------------------------------------
     # storage gating (CVE-2017-7843 policy)
     # ------------------------------------------------------------------
     def install_storage(self, scope, page) -> None:
@@ -459,6 +477,49 @@ class KernelSharedBuffer:
     def stop_increment_activity(self) -> None:
         """Stop the writer loop."""
         self._native.stop_increment_activity()
+
+
+class KernelSharedMemPolicy(SharedMemAccessPolicy):
+    """Shared-memory access policy: every access crosses into the kernel.
+
+    The same model as :class:`KernelSharedBuffer` generalised to the
+    structured shared-object runtime: each access is a kernel API call
+    (charged, counted, vetoable) whose completion is paced to the
+    kernel's message-slot grid.  Pacing the *access time* is what
+    degrades the counter-thread clock — the spin counter's value is a
+    function of when the load lands, so grid-aligned loads can only
+    observe grid-resolution time.
+    """
+
+    name = "jskernel"
+    guards_gc = True
+
+    def __init__(self, kspace: KernelSpace):
+        self._kspace = kspace
+
+    def before_access(self, sim, cell, op: str, access: str) -> None:
+        self._kspace.api_call(f"shm.{access}", {"obj": cell.obj_id})
+        grid = self._kspace.grid.grid_for("message")
+        boundary = ((sim.now // grid) + 1) * grid
+        sim.consume(boundary - sim.now)
+
+    def before_lock(self, sim, lock, thread: str, held) -> None:
+        """Veto out-of-order acquisition: deadlock prevention.
+
+        Locks must be taken in allocation (``seq``) order; asking for a
+        lock while holding a later-ordered one is the classic ABBA shape
+        and the kernel refuses it outright, so wait-for cycles can never
+        form under this policy.
+        """
+        from ..errors import SecurityError
+
+        self._kspace.api_call("shm.lock", {"lock": lock.trace_label})
+        worst = max((h.seq for h in held), default=0)
+        if worst > lock.seq:
+            raise SecurityError(
+                f"kernel lock-order policy: {thread} requested {lock.trace_label} "
+                f"while holding a later-ordered lock (seq {worst})"
+            )
 
 
 class KernelIndexedDB:

@@ -47,6 +47,7 @@ class JSKernelInstance:
         self.interface.install_animations(scope)
         self.interface.install_media(scope)
         self.interface.install_shared_buffers(scope)
+        self.interface.install_sharedmem(scope)
         self.interface.install_storage(scope, page)
 
         self.thread_manager = ThreadManager(self, page)

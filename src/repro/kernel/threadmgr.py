@@ -155,6 +155,7 @@ class ThreadManager:
             interface.install_clocks(ws)
             interface.install_timers(ws)
             interface.install_shared_buffers(ws)
+            interface.install_sharedmem(ws)
             manager._install_worker_messaging(kthread, kspace_w, ws)
             manager._install_worker_fetch(kthread, kspace_w, interface, ws)
             manager._install_worker_xhr(kthread, kspace_w, ws)

@@ -20,6 +20,7 @@ from .page import Page
 from .profiles import BrowserProfile, chrome
 from .rng import RngService
 from .sharedbuf import SharedCounterBuffer
+from .sharedmem import SharedHeap
 from .simulator import Simulator
 from .storage import IndexedDBStore
 from .worker import WorkerAgent
@@ -74,6 +75,9 @@ class Browser:
             self.sim,
             persist_private_writes=self.profile.has_bug("cve_2017_7843"),
         )
+        #: Browser-wide shared-object heap (lazy arena: trace-silent until
+        #: the first shared allocation).
+        self.sharedmem = SharedHeap(self.sim, self.heap, self.profile)
         self.history: Set[str] = set()
         self.pages: List[Page] = []
         self.workers: List[WorkerAgent] = []

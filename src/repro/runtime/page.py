@@ -23,6 +23,7 @@ from .origin import URL, parse_url
 from .render import Renderer
 from .scopes import MainScope
 from .sharedbuf import SimArrayBuffer
+from .sharedmem import SharedMemAPI
 from .simtime import ms
 from .svgfilter import SimImage, filter_cost
 from .task import TaskSource
@@ -109,6 +110,7 @@ class Page:
         )
         scope.ArrayBuffer = lambda size: SimArrayBuffer(browser.heap, size)
         scope.SharedArrayBuffer = browser.make_shared_buffer
+        scope.sharedmem = SharedMemAPI(browser.sharedmem, self.loop)
         scope.Worker = self._create_worker
         scope.indexedDB = _IndexedDBFacade(browser.idb, self.origin, self.private_mode)
         scope.Image = self._create_image

@@ -32,6 +32,9 @@ ALL_BUGS = (
     "cve_2013_1714",
     "cve_2011_1190",
     "cve_2010_4576",
+    # shared-memory runtime bugs (legacy shared-GC implementation)
+    "shm_gc_thread_roots",
+    "shm_gc_cycle_leak",
 )
 
 

@@ -14,20 +14,23 @@ Two distinct objects matter to the paper:
   any read at virtual time ``t`` observes ``floor((t - t0) · r)`` plus the
   base value.  This keeps concurrent reads exact without simulating every
   increment.
+
+The counter math lives in :class:`repro.runtime.sharedmem.atomics`
+(:class:`RateActivity` and :class:`AtomicCounterCore`, re-exported here
+for compatibility); this module keeps only the flat counter's tracing
+and cost accounting, whose event stream is pinned byte-for-byte by the
+golden digests in ``tests/golden/sharedbuf_digests.json``.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..errors import SimulationError
 from ..trace import state_access
 from .heap import NativePtr, SimHeap
-from .simtime import MS
+from .sharedmem.atomics import ELEMENT_ACCESS_COST, AtomicCounterCore, RateActivity
 from .simulator import Simulator
-
-#: Cost of one typed-array element access.
-ELEMENT_ACCESS_COST = 40
 
 
 class SimArrayBuffer:
@@ -77,26 +80,6 @@ class SimArrayBuffer:
             data[index % len(data)] = value & 0xFF
 
 
-class RateActivity:
-    """A declared increments-at-rate-r interval on a shared counter."""
-
-    __slots__ = ("start", "end", "rate_per_ms", "base")
-
-    def __init__(self, start: int, rate_per_ms: float, base: int):
-        self.start = start
-        self.end: Optional[int] = None
-        self.rate_per_ms = rate_per_ms
-        self.base = base
-
-    def value_at(self, now: int) -> int:
-        """Counter value contributed by this activity at time ``now``."""
-        effective_end = now if self.end is None else min(now, self.end)
-        if effective_end <= self.start:
-            return self.base
-        elapsed_ms = (effective_end - self.start) / MS
-        return self.base + int(elapsed_ms * self.rate_per_ms)
-
-
 class SharedCounterBuffer:
     """SharedArrayBuffer used as a monotone counter / fine-grained timer."""
 
@@ -104,9 +87,7 @@ class SharedCounterBuffer:
         self.sim = sim
         self.label = label
         self.trace_obj = f"sab:{label}#{sim.next_object_seq('sab')}"
-        self._static_value = 0
-        self._activity: Optional[RateActivity] = None
-        self._history: List[RateActivity] = []
+        self._core = AtomicCounterCore(0)
 
     # ------------------------------------------------------------------
     # writer side (worker)
@@ -114,26 +95,23 @@ class SharedCounterBuffer:
     def start_increment_activity(self, rate_per_ms: float) -> None:
         """Declare a tight increment loop starting now at ``rate_per_ms``."""
         state_access(self.sim, self.trace_obj, "write", "sab", access="increment_start")
-        if self._activity is not None:
+        if self._core.activity is not None:
             self.stop_increment_activity()
-        self._activity = RateActivity(self.sim.now, rate_per_ms, self.load_raw())
+        self._core.start_rate(self.sim.now, rate_per_ms)
 
     def stop_increment_activity(self) -> None:
         """End the current increment loop, freezing the counter."""
-        if self._activity is None:
+        if self._core.activity is None:
             return
         state_access(self.sim, self.trace_obj, "write", "sab", access="increment_stop")
-        self._activity.end = self.sim.now
-        self._static_value = self._activity.value_at(self.sim.now)
-        self._history.append(self._activity)
-        self._activity = None
+        self._core.stop_rate(self.sim.now)
 
     def store(self, value: int) -> None:
         """Atomics.store: set the counter (stops any running activity)."""
         self.sim.consume(ELEMENT_ACCESS_COST)
         state_access(self.sim, self.trace_obj, "write", "sab", access="store")
         self.stop_increment_activity()
-        self._static_value = value
+        self._core.set_value(value)
 
     # ------------------------------------------------------------------
     # reader side (any thread)
@@ -146,19 +124,17 @@ class SharedCounterBuffer:
 
     def load_raw(self) -> int:
         """Read without charging access cost (internal use)."""
-        if self._activity is not None:
-            return self._activity.value_at(self.sim.now)
-        return self._static_value
+        return self._core.value_at(self.sim.now)
 
     @property
     def incrementing(self) -> bool:
         """True while a rate activity is running."""
-        return self._activity is not None
+        return self._core.activity is not None
 
     @property
     def current_activity(self) -> Optional[RateActivity]:
         """The running rate activity, if any (read by SAB-wrapping defenses)."""
-        return self._activity
+        return self._core.activity
 
 
 def make_timer_pair(sim: Simulator) -> Tuple[SharedCounterBuffer, SharedCounterBuffer]:

@@ -1,0 +1,37 @@
+"""Shared-memory object runtime: SAB-backed structures, locks, atomics, GC.
+
+The package models a Myenk-style shared-object layer on top of the
+simulated native heap: a per-browser :class:`SharedHeap` arena,
+structured :class:`SharedDict`/:class:`SharedArray` objects, an
+:class:`AtomicCell` with virtual-time ``wait``/``notify``, owner-tracked
+:class:`SharedLock`/:class:`SharedRwLock`, a refcount + stop-the-world
+mark/sweep GC, and the Hacky-Racers :class:`CounterThreadClock`.
+
+Agents consume it through ``scope.sharedmem`` (a :class:`SharedMemAPI`);
+defenses interpose through :class:`AccessPolicy`.
+"""
+
+from .api import AccessPolicy, SharedMemAPI
+from .atomics import AtomicCell, AtomicCounterCore, RateActivity
+from .clockthread import DEFAULT_RATE_PER_MS, CounterThreadClock
+from .heap import AgentBinding, SharedCell, SharedHeap
+from .locks import SharedLock, SharedRwLock
+from .objects import SharedArray, SharedDict, SharedObject
+
+__all__ = [
+    "AccessPolicy",
+    "AgentBinding",
+    "AtomicCell",
+    "AtomicCounterCore",
+    "CounterThreadClock",
+    "DEFAULT_RATE_PER_MS",
+    "RateActivity",
+    "SharedArray",
+    "SharedCell",
+    "SharedDict",
+    "SharedHeap",
+    "SharedLock",
+    "SharedMemAPI",
+    "SharedObject",
+    "SharedRwLock",
+]

@@ -25,6 +25,7 @@ from .interpose import Interposable
 from .origin import URL, parse_url, same_origin
 from .scopes import ErrorEvent, WorkerScope
 from .sharedbuf import SimArrayBuffer
+from .sharedmem import SharedMemAPI
 from .task import TaskSource
 from .xhr import XMLHttpRequest
 
@@ -275,6 +276,7 @@ class WorkerAgent:
         )
         scope.ArrayBuffer = lambda size: SimArrayBuffer(host.heap, size)
         scope.SharedArrayBuffer = host.make_shared_buffer
+        scope.sharedmem = SharedMemAPI(host.sharedmem, self.loop)
         scope.importScripts = self._import_scripts
         scope.close = lambda: self.terminate(reason="self")
         # route user postMessage through the agent so transferables are

@@ -12,10 +12,12 @@ sys.path.insert(
 
 import ci_checks  # noqa: E402
 from ci_checks import (  # noqa: E402
+    SHAREDMEM_EXPECTED,
     CheckFailure,
     check_analyze,
     check_cube,
     check_fuzz,
+    check_sharedmem,
     check_trace,
 )
 
@@ -258,6 +260,129 @@ def test_check_cube_requires_the_fixture_to_pin_divergence(tmp_path):
     expected = write(tmp_path / "expected.json", fixture)
     with pytest.raises(CheckFailure, match="pins no verdict-divergent"):
         check_cube(cube, expected)
+
+
+# ----------------------------------------------------------------------
+# sharedmem (the sharedmem-smoke job's validator)
+# ----------------------------------------------------------------------
+def sharedmem_cube_payload():
+    delay = {"count": 3, "mean_ns": 10.0, "cdf": [{"le_ns": None, "fraction": 1.0}]}
+    details = {
+        attack: {defense: "held" for defense in row}
+        for attack, row in SHAREDMEM_EXPECTED.items()
+    }
+    details["lock-order-deadlock"]["legacy-chrome"] = (
+        "deadlock: lock:a#1 <- lock:b#2 cycle"
+    )
+    details["lock-order-deadlock"]["jskernel"] = (
+        "blocked: kernel lock-order policy vetoed out-of-order acquire"
+    )
+    return {
+        "attacks": list(SHAREDMEM_EXPECTED),
+        "defenses": ["legacy-chrome", "fuzzyfox", "jskernel", "detbrowser"],
+        "seed": 0,
+        "verdicts": {
+            attack: dict(row) for attack, row in SHAREDMEM_EXPECTED.items()
+        },
+        "details": details,
+        "overhead": {
+            attack: {defense: {"queue_delay": delay} for defense in row}
+            for attack, row in SHAREDMEM_EXPECTED.items()
+        },
+        "divergent": [],
+        "errors": [],
+    }
+
+
+def deadlock_witness_payload():
+    """A genuine replayable witness: the nominal lock-order-deadlock
+    schedule deadlocks, so replaying an unperturbed trial reproduces the
+    ``['deadlock']`` signature."""
+    return {
+        "attack": "lock-order-deadlock",
+        "defense": "legacy-chrome",
+        "seed": 0,
+        "trial": 0,
+        "strategy": "none",
+        "perturb": {"strategy": "none"},
+        "faults": {},
+        "signature": ["deadlock"],
+        "minimized": {"atoms_before": 0, "atoms_after": 0, "tests_run": 1},
+    }
+
+
+def test_check_sharedmem_accepts_pinned_cube_and_replayable_witness(tmp_path):
+    cube = write(tmp_path / "cube.json", sharedmem_cube_payload())
+    witnesses = tmp_path / "witnesses"
+    witnesses.mkdir()
+    write(witnesses / "witness-000.json", deadlock_witness_payload())
+    summary = check_sharedmem(cube, str(witnesses))
+    assert summary.startswith("ok: 20 sharedmem cells pinned")
+    assert "deadlock" in summary
+
+
+def test_check_sharedmem_rejects_a_missing_scenario_row(tmp_path):
+    payload = sharedmem_cube_payload()
+    del payload["verdicts"]["gc-vs-mutator"]
+    cube = write(tmp_path / "cube.json", payload)
+    with pytest.raises(CheckFailure, match="missing the 'gc-vs-mutator' row"):
+        check_sharedmem(cube, str(tmp_path))
+
+
+def test_check_sharedmem_rejects_verdict_drift(tmp_path):
+    # the pinned expected-failure flipping (fuzzyfox suddenly "defending"
+    # the counter-thread clock) must fail the gate, not silently pass
+    payload = sharedmem_cube_payload()
+    payload["verdicts"]["counter-thread-clock"]["fuzzyfox"] = True
+    cube = write(tmp_path / "cube.json", payload)
+    with pytest.raises(CheckFailure, match="verdict drift"):
+        check_sharedmem(cube, str(tmp_path))
+
+
+def test_check_sharedmem_rejects_an_unnamed_deadlock_cycle(tmp_path):
+    payload = sharedmem_cube_payload()
+    payload["details"]["lock-order-deadlock"]["legacy-chrome"] = "crash"
+    cube = write(tmp_path / "cube.json", payload)
+    with pytest.raises(CheckFailure, match="does not name the cycle"):
+        check_sharedmem(cube, str(tmp_path))
+
+
+def test_check_sharedmem_rejects_a_missing_overhead_cdf(tmp_path):
+    payload = sharedmem_cube_payload()
+    payload["overhead"]["shm-toctou"]["jskernel"] = {"queue_delay": {"cdf": []}}
+    cube = write(tmp_path / "cube.json", payload)
+    with pytest.raises(CheckFailure, match="missing a queue-delay CDF"):
+        check_sharedmem(cube, str(tmp_path))
+
+
+def test_check_sharedmem_rejects_an_empty_witness_dir(tmp_path):
+    cube = write(tmp_path / "cube.json", sharedmem_cube_payload())
+    witnesses = tmp_path / "witnesses"
+    witnesses.mkdir()
+    with pytest.raises(CheckFailure, match="no witnesses"):
+        check_sharedmem(cube, str(witnesses))
+
+
+def test_check_sharedmem_rejects_an_unminimised_witness(tmp_path):
+    cube = write(tmp_path / "cube.json", sharedmem_cube_payload())
+    witnesses = tmp_path / "witnesses"
+    witnesses.mkdir()
+    payload = deadlock_witness_payload()
+    del payload["minimized"]
+    write(witnesses / "witness-000.json", payload)
+    with pytest.raises(CheckFailure, match="not minimised"):
+        check_sharedmem(cube, str(witnesses))
+
+
+def test_check_sharedmem_rejects_a_wrong_signature(tmp_path):
+    cube = write(tmp_path / "cube.json", sharedmem_cube_payload())
+    witnesses = tmp_path / "witnesses"
+    witnesses.mkdir()
+    payload = deadlock_witness_payload()
+    payload["signature"] = ["oom"]
+    write(witnesses / "witness-000.json", payload)
+    with pytest.raises(CheckFailure, match="lacks 'deadlock'"):
+        check_sharedmem(cube, str(witnesses))
 
 
 # ----------------------------------------------------------------------

@@ -98,3 +98,51 @@ def test_make_timer_pair():
     counter, flag = make_timer_pair(sim)
     assert counter is not flag
     assert counter.load_raw() == 0
+
+
+def test_counter_math_is_the_sharedmem_atomics_core():
+    """SharedCounterBuffer delegates to the same state machine AtomicCell
+    uses; RateActivity here IS the atomics one (re-exported)."""
+    from repro.runtime.sharedbuf import RateActivity
+    from repro.runtime.sharedmem.atomics import (
+        AtomicCounterCore,
+        RateActivity as AtomicsRateActivity,
+    )
+
+    assert RateActivity is AtomicsRateActivity
+    counter = SharedCounterBuffer(Simulator())
+    assert isinstance(counter._core, AtomicCounterCore)
+
+
+def test_sab_timer_traces_pinned_byte_identical():
+    """Golden pin for the atomics-core reroute: the sab-timer scenarios'
+    exports must match the digests captured before the refactor.
+
+    Regenerate tests/golden/sharedbuf_digests.json only on an intentional
+    trace-schema change (recipe in the file's _comment).
+    """
+    import hashlib
+    import json
+    import os
+
+    from repro.attacks import create
+    from repro.trace import Tracer, capture
+    from repro.trace.export import dump_chrome_trace, format_timeline
+
+    golden_path = os.path.join(
+        os.path.dirname(__file__), "golden", "sharedbuf_digests.json"
+    )
+    with open(golden_path, encoding="utf-8") as handle:
+        golden = json.load(handle)
+
+    def sha(text: str) -> str:
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    for defense in ("legacy-chrome", "jskernel", "detbrowser"):
+        tracer = Tracer(enabled=True)
+        with capture(tracer):
+            create("sab-timer").run(defense)
+        entry = golden[defense]
+        assert len(tracer) == entry["events"], defense
+        assert sha(dump_chrome_trace(tracer)) == entry["chrome_sha256"], defense
+        assert sha(format_timeline(tracer)) == entry["timeline_sha256"], defense

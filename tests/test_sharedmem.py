@@ -1,0 +1,589 @@
+"""Unit tests for the shared-memory object runtime.
+
+Covers the pieces of ``repro.runtime.sharedmem`` in isolation: dict and
+array objects, atomics (including wait/notify), locks and the rwlock,
+refcount + mark/sweep collection in its safe, thread-local-roots and
+cycle-leak modes, the wait-for-graph deadlock detector, and the
+counter-thread clock.
+"""
+
+import pytest
+
+from repro.errors import SimulationError, UseAfterCollectError
+from repro.runtime import Browser, chrome
+from repro.runtime.heap import SimHeap
+from repro.runtime.sharedmem import SharedHeap
+from repro.runtime.simtime import ms
+from repro.runtime.simulator import ExecutionFrame, Simulator
+from repro.trace import Tracer, capture
+
+
+def make(*bugs):
+    profile = chrome()
+    for bug in bugs:
+        profile.bugs[bug] = True
+    browser = Browser(profile=profile, seed=1)
+    page = browser.open_page("https://app.example/")
+    return browser, page
+
+
+def bare_heap(*bugs):
+    """A SharedHeap outside any browser (native-context unit tests)."""
+    profile = chrome()
+    for bug in bugs:
+        profile.bugs[bug] = True
+    sim = Simulator()
+    heap = SharedHeap(sim, SimHeap(time_fn=lambda: sim.now, sim=sim), profile)
+    return sim, heap
+
+
+# ----------------------------------------------------------------------
+# objects
+# ----------------------------------------------------------------------
+def test_shared_dict_round_trip():
+    browser, page = make()
+    out = {}
+
+    def script(scope):
+        d = scope.sharedmem.Dict("cfg")
+        d.set("a", 1)
+        d.set("b", 2)
+        d.delete("a")
+        out["has_a"] = d.has("a")
+        out["b"] = d.get("b")
+        out["keys"] = d.keys()
+        out["size"] = d.size
+
+    page.run_script(script)
+    browser.run(until=ms(10))
+    assert out == {"has_a": False, "b": 2, "keys": ["b"], "size": 1}
+
+
+def test_shared_array_round_trip():
+    browser, page = make()
+    out = {}
+
+    def script(scope):
+        a = scope.sharedmem.Array("buf")
+        a.push(10)
+        a.push(20)
+        a.set(0, 11)
+        out["first"] = a.get(0)
+        out["popped"] = a.pop()
+        out["size"] = a.size
+        out["oob"] = a.get(7)
+        try:
+            a.set(7, 1)
+        except IndexError:
+            out["oob_set"] = "raised"
+
+    page.run_script(script)
+    browser.run(until=ms(10))
+    assert out == {"first": 11, "popped": 20, "size": 1, "oob": None, "oob_set": "raised"}
+
+
+def test_objects_visible_across_agents():
+    browser, page = make()
+    seen = []
+
+    def script(scope):
+        d = scope.sharedmem.Dict("shared")
+        d.set("x", "from-main")
+
+        def worker_main(ws):
+            seen.append(d.get("x"))
+            d.set("x", "from-worker")
+
+        scope.Worker(worker_main)
+        scope.setTimeout(lambda: seen.append(d.get("x")), 20)
+
+    page.run_script(script)
+    browser.run(until=ms(50))
+    assert seen == ["from-main", "from-worker"]
+
+
+# ----------------------------------------------------------------------
+# atomics
+# ----------------------------------------------------------------------
+def test_atomic_add_and_cas_return_old_value():
+    browser, page = make()
+    out = {}
+
+    def script(scope):
+        atom = scope.sharedmem.Atomic("n")
+        atom.store(5)
+        out["add_old"] = atom.add(3)
+        out["after_add"] = atom.load()
+        out["cas_hit"] = atom.compare_exchange(8, 100)
+        out["cas_miss"] = atom.compare_exchange(8, 200)
+        out["final"] = atom.load()
+
+    page.run_script(script)
+    browser.run(until=ms(10))
+    assert out == {
+        "add_old": 5,
+        "after_add": 8,
+        "cas_hit": 8,
+        "cas_miss": 100,
+        "final": 100,
+    }
+
+
+def test_atomic_spin_counter_tracks_virtual_time():
+    browser, page = make()
+    out = {}
+
+    def script(scope):
+        atom = scope.sharedmem.Atomic("spin")
+        atom.start_spin(1000.0)
+
+        def later():
+            out["value"] = atom.load()
+            atom.stop_spin()
+            out["spinning"] = atom.spinning
+
+        scope.setTimeout(later, 5)
+
+    page.run_script(script)
+    browser.run(until=ms(20))
+    assert out["value"] == pytest.approx(5000, abs=20)
+    assert out["spinning"] is False
+
+
+def test_atomics_wait_not_equal_returns_immediately():
+    browser, page = make()
+    out = {}
+
+    def script(scope):
+        atom = scope.sharedmem.Atomic("gate")
+        atom.store(1)
+        out["result"] = atom.wait(0, lambda reason: out.setdefault("woke", reason))
+
+    page.run_script(script)
+    browser.run(until=ms(10))
+    assert out == {"result": "not-equal"}
+
+
+def test_atomics_wait_notify_wakes_waiter():
+    browser, page = make()
+    events = []
+
+    def script(scope):
+        atom = scope.sharedmem.Atomic("gate")
+
+        def waiter(ws):
+            result = atom.wait(0, lambda reason: events.append(("woke", reason)))
+            events.append(("wait", result))
+
+        def notifier(ws):
+            def later():
+                atom.store(1)
+                events.append(("notified", atom.notify()))
+
+            ws.setTimeout(later, 5)
+
+        scope.Worker(waiter)
+        scope.Worker(notifier)
+
+    page.run_script(script)
+    browser.run(until=ms(50))
+    assert ("wait", "waiting") in events
+    assert ("notified", 1) in events
+    assert ("woke", "ok") in events
+
+
+def test_atomics_wait_times_out():
+    browser, page = make()
+    events = []
+
+    def script(scope):
+        atom = scope.sharedmem.Atomic("gate")
+
+        def waiter(ws):
+            atom.wait(0, lambda reason: events.append(reason), timeout_ns=ms(2))
+
+        scope.Worker(waiter)
+
+    page.run_script(script)
+    browser.run(until=ms(50))
+    assert events == ["timed-out"]
+
+
+# ----------------------------------------------------------------------
+# locks
+# ----------------------------------------------------------------------
+def test_lock_owner_tracking_and_wrong_owner_release():
+    sim, heap = bare_heap()
+    frame = ExecutionFrame(0, "a")
+    sim.push_frame(frame)
+    lock = None
+
+    from repro.runtime.sharedmem import SharedLock
+
+    lock = SharedLock(heap, "m")
+    assert lock.acquire() is True
+    assert lock.owner == "a"
+    assert lock.held
+    assert lock in heap.held_locks["a"]
+    sim.pop_frame()
+
+    sim.push_frame(ExecutionFrame(100, "b"))
+    with pytest.raises(SimulationError):
+        lock.release()
+    sim.pop_frame()
+
+    sim.push_frame(ExecutionFrame(200, "a"))
+    lock.release()
+    assert lock.owner is None
+    assert heap.held_locks["a"] == []
+    sim.pop_frame()
+
+
+def test_lock_mutual_exclusion_and_fifo():
+    browser, page = make()
+    order = []
+
+    def script(scope):
+        lock = scope.sharedmem.Lock("m")
+
+        def make_worker(tag, delay):
+            def worker_main(ws):
+                def critical():
+                    order.append(f"{tag}:in")
+                    ws.busy_work(1.0)
+                    order.append(f"{tag}:out")
+                    lock.release()
+
+                ws.setTimeout(lambda: lock.acquire(critical), delay)
+
+            return worker_main
+
+        scope.Worker(make_worker("w1", 1))
+        scope.Worker(make_worker("w2", 1.1))
+
+    page.run_script(script)
+    browser.run(until=ms(100))
+    assert order == ["w1:in", "w1:out", "w2:in", "w2:out"]
+
+
+def test_lock_reservation_prevents_barging():
+    browser, page = make()
+    out = {}
+    events = []
+
+    def script(scope):
+        lock = scope.sharedmem.Lock("m")
+        lock.acquire()  # main owns it from t=0
+
+        def worker_main(ws):
+            ws.setTimeout(lambda: lock.acquire(lambda: events.append("worker-in")), 1)
+
+        scope.Worker(worker_main)
+
+        def release_and_barge():
+            lock.release()
+            # ownership already passed to the parked waiter: a barging
+            # try_acquire on the releasing thread must fail
+            out["barged"] = lock.try_acquire()
+            out["owner_is_main"] = lock.owner is None
+
+        scope.setTimeout(release_and_barge, 20)
+
+    page.run_script(script)
+    browser.run(until=ms(100))
+    assert out == {"barged": False, "owner_is_main": False}
+    assert events == ["worker-in"]
+
+
+def test_rwlock_readers_share_writer_excludes():
+    browser, page = make()
+    events = []
+
+    def script(scope):
+        rw = scope.sharedmem.RwLock("rw")
+        events.append(("r1", rw.acquire_read()))
+        events.append(("r2", rw.acquire_read()))
+
+        def worker_main(ws):
+            ws.setTimeout(
+                lambda: rw.acquire_write(lambda: (events.append("writer-in"), rw.release_write())),
+                1,
+            )
+
+        scope.Worker(worker_main)
+
+        def drop_readers():
+            events.append("dropping-readers")
+            rw.release_read()
+            rw.release_read()
+
+        scope.setTimeout(drop_readers, 20)
+
+    page.run_script(script)
+    browser.run(until=ms(100))
+    assert events[:2] == [("r1", True), ("r2", True)]
+    # the writer only gets in after both readers release
+    assert events.index("dropping-readers") < events.index("writer-in")
+
+
+# ----------------------------------------------------------------------
+# deadlock detection (wait-for graph)
+# ----------------------------------------------------------------------
+def test_wait_for_cycle_detection():
+    sim, heap = bare_heap()
+
+    class _StubLock:
+        def __init__(self, label, owner):
+            self.trace_label = label
+            self.owner = owner
+
+    lock1 = _StubLock("lock:a#1", "A")
+    lock2 = _StubLock("lock:b#2", "B")
+    heap.note_blocked("A", lock2)  # A waits for B's lock
+    assert heap.deadlocks == []
+    heap.note_blocked("B", lock1)  # B waits for A's lock: cycle closed
+    assert len(heap.deadlocks) == 1
+    record = heap.deadlocks[0]
+    assert "lock:a#1" in record["cycle"] and "lock:b#2" in record["cycle"]
+    assert set(record["threads"]) == {"A", "B"}
+
+
+# ----------------------------------------------------------------------
+# memory management
+# ----------------------------------------------------------------------
+def test_refcount_frees_transitively():
+    browser, page = make()
+    out = {}
+
+    def script(scope):
+        outer = scope.sharedmem.Dict("outer")
+        inner = scope.sharedmem.Dict("inner")
+        outer.set("child", inner)
+        scope.sharedmem.drop(inner)  # now only referenced by outer
+        out["inner_alive"] = not inner.cell.freed
+        scope.sharedmem.drop(outer)  # frees outer, releasing inner
+        out["outer_freed"] = outer.cell.freed
+        out["inner_freed"] = inner.cell.freed
+        out["live"] = scope.sharedmem.stats()["live_cells"]
+
+    page.run_script(script)
+    browser.run(until=ms(10))
+    assert out == {"inner_alive": True, "outer_freed": True, "inner_freed": True, "live": 0}
+
+
+def test_safe_gc_is_stop_the_world_and_spares_adopted_cells():
+    out = {}
+    tracer = Tracer(enabled=True)
+
+    def script(scope):
+        session = scope.sharedmem.Dict("session")
+        session.set("token", "s3cret")
+
+        def worker_main(ws):
+            ws.sharedmem.adopt(session)
+            ws.postMessage("adopted")
+
+        worker = scope.Worker(worker_main)
+
+        def on_adopted(_event):
+            scope.sharedmem.drop(session)
+            out["stats"] = scope.sharedmem.collect(reason="idle")
+
+        worker.onmessage = on_adopted
+        scope.setTimeout(lambda: out.setdefault("token", session.get("token")), 20)
+
+    with capture(tracer):
+        browser, page = make()
+        page.run_script(script)
+        browser.run(until=ms(100))
+
+    # the worker's root kept the cell alive across the collection
+    assert out["token"] == "s3cret"
+    assert out["stats"]["mode"] == "stw"
+    assert out["stats"]["condemned"] == 0
+    pauses = [e for e in tracer.events if e.get("name") == "gc.pause"]
+    # both attached agents (page main + worker) paused
+    assert len(pauses) == 2
+    assert {e["args"]["trigger"] for e in pauses} == {True, False}
+
+
+def test_unsafe_gc_condemns_other_agents_roots():
+    browser, page = make("shm_gc_thread_roots")
+    out = {}
+
+    def script(scope):
+        session = scope.sharedmem.Dict("session")
+        session.set("token", "s3cret")
+
+        def worker_main(ws):
+            ws.sharedmem.adopt(session)
+            # reads well after the async sweep (200 us) has landed
+            ws.setTimeout(lambda: out.setdefault("token", session.get("token")), 2)
+            ws.postMessage("adopted")
+
+        worker = scope.Worker(worker_main)
+
+        def on_adopted(_event):
+            scope.sharedmem.drop(session)
+            out["stats"] = scope.sharedmem.collect(reason="idle")
+
+        worker.onmessage = on_adopted
+
+    page.run_script(script)
+    with pytest.raises(UseAfterCollectError):
+        browser.run(until=ms(100))
+    assert out["stats"]["mode"] == "unsafe"
+    assert out["stats"]["condemned"] == 1
+
+
+def test_force_safe_overrides_buggy_collector():
+    browser, page = make("shm_gc_thread_roots")
+    out = {}
+
+    def script(scope):
+        session = scope.sharedmem.Dict("session")
+        session.set("token", "s3cret")
+
+        def worker_main(ws):
+            ws.sharedmem.adopt(session)
+            ws.setTimeout(lambda: out.setdefault("token", session.get("token")), 2)
+            ws.postMessage("adopted")
+
+        worker = scope.Worker(worker_main)
+
+        def on_adopted(_event):
+            scope.sharedmem.drop(session)
+            out["stats"] = scope.sharedmem.collect(force_safe=True, reason="idle")
+
+        worker.onmessage = on_adopted
+
+    page.run_script(script)
+    browser.run(until=ms(100))
+    assert out["token"] == "s3cret"
+    assert out["stats"]["mode"] == "stw"
+
+
+def test_gc_guard_policy_forces_safe_path():
+    """A guards_gc policy (the kernel) neutralises the buggy collector."""
+    browser, page = make("shm_gc_thread_roots")
+    out = {}
+
+    from repro.runtime.sharedmem import AccessPolicy
+
+    class GuardPolicy(AccessPolicy):
+        name = "guard"
+        guards_gc = True
+
+    def script(scope):
+        scope.sharedmem.set_policy(GuardPolicy())
+        session = scope.sharedmem.Dict("session")
+        session.set("token", "s3cret")
+
+        def worker_main(ws):
+            ws.sharedmem.adopt(session)
+            ws.setTimeout(lambda: out.setdefault("token", session.get("token")), 2)
+            ws.postMessage("adopted")
+
+        worker = scope.Worker(worker_main)
+
+        def on_adopted(_event):
+            scope.sharedmem.drop(session)
+            out["stats"] = scope.sharedmem.collect(reason="idle")
+
+        worker.onmessage = on_adopted
+
+    page.run_script(script)
+    browser.run(until=ms(100))
+    assert out["token"] == "s3cret"
+    assert out["stats"]["mode"] == "stw"
+
+
+def test_cycle_leak_bug_strands_unreachable_cells():
+    out = {}
+    tracer = Tracer(enabled=True)
+
+    def script(scope):
+        a = scope.sharedmem.Dict("a")
+        b = scope.sharedmem.Dict("b")
+        a.set("peer", b)
+        b.set("peer", a)  # refcount cycle
+        scope.sharedmem.drop(a)
+        scope.sharedmem.drop(b)
+        out["stats"] = scope.sharedmem.collect(reason="idle")
+        out["live"] = scope.sharedmem.stats()["live_cells"]
+        out["leaked"] = scope.sharedmem.stats()["leaked_cells"]
+
+    with capture(tracer):
+        browser, page = make("shm_gc_cycle_leak")
+        page.run_script(script)
+        browser.run(until=ms(10))
+
+    assert out["stats"]["leaked"] == 2
+    assert out["live"] == 2  # the cycle survived the sweep
+    assert out["leaked"] == 2
+    assert any(e.get("name") == "sharedmem.leak" for e in tracer.events)
+
+
+def test_safe_gc_reclaims_cycles():
+    browser, page = make()
+    out = {}
+
+    def script(scope):
+        a = scope.sharedmem.Dict("a")
+        b = scope.sharedmem.Dict("b")
+        a.set("peer", b)
+        b.set("peer", a)
+        scope.sharedmem.drop(a)
+        scope.sharedmem.drop(b)
+        out["stats"] = scope.sharedmem.collect(reason="idle")
+        out["live"] = scope.sharedmem.stats()["live_cells"]
+
+    page.run_script(script)
+    browser.run(until=ms(10))
+    assert out["stats"]["condemned"] == 2
+    assert out["live"] == 0
+
+
+# ----------------------------------------------------------------------
+# counter-thread clock
+# ----------------------------------------------------------------------
+def test_counter_thread_clock_reads_elapsed_counts():
+    browser, page = make()
+    out = {}
+
+    def script(scope):
+        clock = scope.sharedmem.CounterClock("hacky")
+        clock.start(1000.0)
+        out["running"] = clock.running
+
+        def later():
+            out["value"] = clock.read()
+            clock.stop()
+            out["stopped"] = not clock.running
+
+        scope.setTimeout(later, 3)
+
+    page.run_script(script)
+    browser.run(until=ms(20))
+    assert out["running"] is True
+    assert out["stopped"] is True
+    assert out["value"] == pytest.approx(3000, abs=20)
+
+
+def test_stats_shape():
+    browser, page = make()
+    out = {}
+
+    def script(scope):
+        scope.sharedmem.Dict("d")
+        out["stats"] = scope.sharedmem.stats()
+
+    page.run_script(script)
+    browser.run(until=ms(10))
+    assert out["stats"] == {
+        "live_cells": 1,
+        "gc_runs": 0,
+        "deadlocks": 0,
+        "leaked_cells": 0,
+        "agents": 1,
+    }

@@ -1,0 +1,207 @@
+"""Property tests: shared objects linearize to a sequential reference.
+
+Every SharedDict/SharedArray operation is one indivisible access in
+virtual time, so any interleaved execution must be equivalent to the
+sequential application of the operations in access order.  The tests
+drive two workers through hypothesis-generated op sequences, log each
+op's observed result in execution order, then replay the log against a
+plain-Python reference model — results and final state must match.
+
+The GC stress test runs three agents through rounds of allocate / adopt
+/ drop / collect and asserts the live set stays bounded and no read
+ever dangles (the safe collector never frees a rooted cell).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import Browser, chrome
+from repro.runtime.simtime import ms
+
+KEYS = ["a", "b", "c"]
+
+dict_ops = st.one_of(
+    st.tuples(st.just("set"), st.sampled_from(KEYS), st.integers(0, 9)),
+    st.tuples(st.just("get"), st.sampled_from(KEYS)),
+    st.tuples(st.just("delete"), st.sampled_from(KEYS)),
+    st.tuples(st.just("has"), st.sampled_from(KEYS)),
+    st.tuples(st.just("keys")),
+    st.tuples(st.just("size")),
+)
+
+array_ops = st.one_of(
+    st.tuples(st.just("push"), st.integers(0, 9)),
+    st.tuples(st.just("pop")),
+    st.tuples(st.just("aset"), st.integers(0, 3), st.integers(0, 9)),
+    st.tuples(st.just("aget"), st.integers(0, 3)),
+    st.tuples(st.just("asize")),
+)
+
+
+def _apply_shared(d, a, op):
+    """Run one op against the shared objects; return its observed result."""
+    name, args = op[0], op[1:]
+    if name == "set":
+        return d.set(*args)
+    if name == "get":
+        return d.get(*args)
+    if name == "delete":
+        return d.delete(*args)
+    if name == "has":
+        return d.has(*args)
+    if name == "keys":
+        return d.keys()
+    if name == "size":
+        return d.size
+    if name == "push":
+        return a.push(*args)
+    if name == "pop":
+        return a.pop()
+    if name == "aset":
+        index, value = args
+        try:
+            return a.set(index, value)
+        except IndexError:
+            return "index-error"
+    if name == "aget":
+        return a.get(*args)
+    if name == "asize":
+        return a.size
+    raise AssertionError(f"unknown op {op!r}")
+
+
+def _apply_reference(d, a, op):
+    """The same op against plain dict/list reference state."""
+    name, args = op[0], op[1:]
+    if name == "set":
+        d[args[0]] = args[1]
+        return None
+    if name == "get":
+        return d.get(args[0])
+    if name == "delete":
+        return d.pop(args[0], "_missing") != "_missing"
+    if name == "has":
+        return args[0] in d
+    if name == "keys":
+        return list(d.keys())
+    if name == "size":
+        return len(d)
+    if name == "push":
+        a.append(args[0])
+        return len(a)
+    if name == "pop":
+        return a.pop() if a else None
+    if name == "aset":
+        index, value = args
+        if index >= len(a):
+            return "index-error"
+        a[index] = value
+        return None
+    if name == "aget":
+        return a[args[0]] if args[0] < len(a) else None
+    if name == "asize":
+        return len(a)
+    raise AssertionError(f"unknown op {op!r}")
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops=st.lists(st.one_of(dict_ops, array_ops), min_size=1, max_size=24))
+def test_interleaved_ops_match_sequential_reference(ops):
+    browser = Browser(profile=chrome(), seed=1)
+    page = browser.open_page("https://app.example/")
+    log = []
+
+    def script(scope):
+        d = scope.sharedmem.Dict("model-dict")
+        a = scope.sharedmem.Array("model-array")
+        # alternate ops between the two workers; each op lands in its own
+        # task so the scheduler interleaves the two streams
+        halves = (ops[0::2], ops[1::2])
+
+        def make_worker(my_ops, stagger_ms):
+            def worker_main(ws):
+                for i, op in enumerate(my_ops):
+                    def run(op=op):
+                        log.append((op, _apply_shared(d, a, op)))
+
+                    ws.setTimeout(run, stagger_ms + i)
+
+            return worker_main
+
+        scope.Worker(make_worker(halves[0], 1.0))
+        scope.Worker(make_worker(halves[1], 1.4))
+
+    page.run_script(script)
+    browser.run(until=ms(200))
+    assert len(log) == len(ops)
+
+    # replay the observed linearization against the reference model
+    ref_dict, ref_array = {}, []
+    for op, observed in log:
+        expected = _apply_reference(ref_dict, ref_array, op)
+        assert observed == expected, f"{op}: observed {observed!r} != {expected!r}"
+
+
+def test_gc_stress_three_agents_bounded_live_set_no_dangling_reads():
+    browser = Browser(profile=chrome(), seed=7)
+    page = browser.open_page("https://app.example/")
+    rng = random.Random(1234)
+    reads = []
+    live_samples = []
+    ROUNDS = 12
+    PER_ROUND = 4
+
+    def script(scope):
+        def worker_main(ws):
+            def on_share(event):
+                obj, expected = event.data
+                # borrow/adopt handshake: root it here, then tell the
+                # sender its root is no longer load-bearing
+                ws.sharedmem.adopt(obj)
+                ws.postMessage(obj)
+
+                def read_and_drop():
+                    reads.append((obj.get("v"), expected))
+                    ws.sharedmem.drop(obj)
+
+                ws.setTimeout(read_and_drop, rng.uniform(0.5, 3.0))
+
+            ws.onmessage = on_share
+
+        workers = [scope.Worker(worker_main), scope.Worker(worker_main)]
+        for worker in workers:
+            worker.onmessage = lambda event: scope.sharedmem.drop(event.data)
+
+        def round_fn(n):
+            for i in range(PER_ROUND):
+                d = scope.sharedmem.Dict(f"obj-{n}-{i}")
+                value = n * 100 + i
+                d.set("v", value)
+                if rng.random() < 0.7:
+                    # keep main's root until the adoption confirmation
+                    workers[i % 2].postMessage((d, value))
+                else:
+                    scope.sharedmem.drop(d)
+            scope.sharedmem.collect(reason=f"round-{n}")
+            live_samples.append(scope.sharedmem.stats()["live_cells"])
+
+        for n in range(ROUNDS):
+            scope.setTimeout(lambda n=n: round_fn(n), 5 * (n + 1))
+
+    page.run_script(script)
+    browser.run(until=ms(200))
+
+    # every read observed the value written before sharing: no dangling
+    # reads, no use-after-collect, across all three agents
+    assert reads, "stress produced no cross-agent reads"
+    for observed, expected in reads:
+        assert observed == expected
+
+    # the live set never accumulates: each round's collection reclaims
+    # everything except cells still rooted by an in-flight adoption
+    assert live_samples
+    assert max(live_samples) <= 2 * PER_ROUND
+    final = browser.sharedmem.live_cells
+    assert final <= PER_ROUND

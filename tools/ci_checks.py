@@ -11,12 +11,14 @@ importable, unit-tested functions behind one CLI::
     python tools/ci_checks.py fuzz     /tmp/witnesses
     python tools/ci_checks.py cube     /tmp/cube.json \
         --expected tests/golden/cube_expected.json --cdf-out /tmp/cdfs.json
+    python tools/ci_checks.py sharedmem /tmp/shm-cube.json \
+        --witnesses /tmp/deadlock-witnesses
 
 Each checker raises :class:`CheckFailure` with a human-readable message
 on violation and returns an ``ok: ...`` summary line on success; the CLI
 prints the summary or the failure and exits 0/1.  Run with
-``PYTHONPATH=src`` — the ``parallel``, ``fuzz`` and ``cube`` checkers
-import :mod:`repro`.
+``PYTHONPATH=src`` — the ``parallel``, ``fuzz``, ``cube`` and
+``sharedmem`` checkers import :mod:`repro`.
 """
 
 from __future__ import annotations
@@ -235,6 +237,129 @@ def check_cube(
         f"ok: {cells} cells match {expected_path}; "
         f"{len(have_divergent)} verdict-divergent cells pinned"
         + (f"; wrote {cdf_out}" if cdf_out else "")
+    )
+
+
+# ----------------------------------------------------------------------
+# sharedmem-smoke: the shared-memory scenario cube + deadlock fuzz chain
+# ----------------------------------------------------------------------
+#: The shared-memory scenario rows the smoke cube must carry.
+SHAREDMEM_ATTACKS = [
+    "shm-toctou",
+    "shm-toctou-locked",
+    "lock-order-deadlock",
+    "gc-vs-mutator",
+    "counter-thread-clock",
+]
+
+#: Verdict pins per scenario (attack -> defense -> defended?).  These are
+#: the stable facts the PR's experiments rest on, including the pinned
+#: expected-failure: fuzzyfox (clock interposition) does NOT stop the
+#: counter-thread clock, while jskernel/detbrowser (memory mediation) do.
+SHAREDMEM_EXPECTED = {
+    "shm-toctou": {
+        "legacy-chrome": False, "fuzzyfox": False,
+        "jskernel": False, "detbrowser": False,
+    },
+    "shm-toctou-locked": {
+        "legacy-chrome": True, "fuzzyfox": True,
+        "jskernel": True, "detbrowser": True,
+    },
+    "lock-order-deadlock": {
+        "legacy-chrome": False, "fuzzyfox": False,
+        "jskernel": True, "detbrowser": False,
+    },
+    "gc-vs-mutator": {
+        "legacy-chrome": False, "fuzzyfox": False,
+        "jskernel": True, "detbrowser": False,
+    },
+    "counter-thread-clock": {
+        "legacy-chrome": False, "fuzzyfox": False,
+        "jskernel": True, "detbrowser": True,
+    },
+}
+
+
+def check_sharedmem(path: str, witness_dir: str) -> str:
+    """Validate the sharedmem-smoke cube dump and deadlock fuzz output.
+
+    ``path`` is a ``python -m repro cube --attacks <sharedmem rows>``
+    JSON dump; ``witness_dir`` is the ``python -m repro fuzz --attack
+    lock-order-deadlock`` output directory.  Checks: every scenario row
+    is present with its pinned verdicts (including the counter-thread
+    clock's fuzzyfox bypass), each cell carries a queue-delay overhead
+    CDF, the deadlock detail names the cycle and the kernel veto names
+    the policy, and the first deadlock witness was minimised and replays
+    to a signature containing ``deadlock``.
+    """
+    cube = _load(path)
+
+    verdicts = cube.get("verdicts", {})
+    for attack in SHAREDMEM_ATTACKS:
+        if attack not in verdicts:
+            raise CheckFailure(f"{path}: cube is missing the {attack!r} row")
+    drift = [
+        f"{attack} vs {defense}: got {verdicts[attack].get(defense)!r}, "
+        f"expected {expected}"
+        for attack, row in SHAREDMEM_EXPECTED.items()
+        for defense, expected in row.items()
+        if verdicts[attack].get(defense) is not expected
+    ]
+    if drift:
+        raise CheckFailure("sharedmem verdict drift:\n  " + "\n  ".join(drift))
+    if cube.get("errors"):
+        raise CheckFailure(f"{path}: cube had cell errors: {cube['errors']}")
+
+    details = cube.get("details", {})
+    deadlock_row = details.get("lock-order-deadlock", {})
+    if not deadlock_row.get("legacy-chrome", "").startswith("deadlock:"):
+        raise CheckFailure(
+            "legacy-chrome deadlock detail does not name the cycle: "
+            f"{deadlock_row.get('legacy-chrome')!r}"
+        )
+    if "lock-order policy" not in deadlock_row.get("jskernel", ""):
+        raise CheckFailure(
+            "jskernel deadlock detail does not name the ordering veto: "
+            f"{deadlock_row.get('jskernel')!r}"
+        )
+
+    missing = [
+        f"{attack} vs {defense}"
+        for attack in SHAREDMEM_ATTACKS
+        for defense, profile in cube.get("overhead", {}).get(attack, {}).items()
+        if not profile.get("queue_delay", {}).get("cdf")
+    ]
+    if missing:
+        raise CheckFailure(
+            "sharedmem cells missing a queue-delay CDF: " + ", ".join(missing)
+        )
+
+    from repro.explore import replay_witness
+    from repro.explore.oracles import signature
+
+    paths = sorted(glob.glob(os.path.join(witness_dir, "*.json")))
+    if not paths:
+        raise CheckFailure(f"deadlock fuzz produced no witnesses in {witness_dir!r}")
+    witness = _load(paths[0])
+    if "deadlock" not in witness.get("signature", []):
+        raise CheckFailure(
+            f"{paths[0]}: witness signature lacks 'deadlock': "
+            f"{witness.get('signature')!r}"
+        )
+    if "minimized" not in witness:
+        raise CheckFailure(f"{paths[0]}: deadlock witness was not minimised")
+    replayed = replay_witness(witness)
+    if signature(replayed) != witness["signature"]:
+        raise CheckFailure(
+            f"deadlock witness signature drifted on replay: "
+            f"{signature(replayed)} != {witness['signature']}"
+        )
+
+    cells = sum(len(SHAREDMEM_EXPECTED[a]) for a in SHAREDMEM_ATTACKS)
+    return (
+        f"ok: {cells} sharedmem cells pinned (counter-thread clock bypasses "
+        f"fuzzyfox); deadlock witness {os.path.basename(paths[0])} replays "
+        f"signature {witness['signature']}"
     )
 
 
@@ -522,6 +647,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_serve.add_argument("path", help="frame JSONL file (serve --submit --out)")
 
+    p_sharedmem = sub.add_parser(
+        "sharedmem", help="validate the sharedmem cube + deadlock fuzz chain"
+    )
+    p_sharedmem.add_argument("path", help="sharedmem cube JSON dump")
+    p_sharedmem.add_argument(
+        "--witnesses", required=True, help="deadlock fuzz witness directory"
+    )
+
     opts = parser.parse_args(argv)
     try:
         if opts.command == "trace":
@@ -538,6 +671,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             summary = check_telemetry(opts.path, prom_path=opts.prom)
         elif opts.command == "serve":
             summary = check_serve(opts.path)
+        elif opts.command == "sharedmem":
+            summary = check_sharedmem(opts.path, opts.witnesses)
         else:
             summary = check_cube(opts.path, opts.expected, cdf_out=opts.cdf_out)
     except CheckFailure as exc:
