@@ -1,0 +1,35 @@
+"""Scenario pre-compiler: batch execution for statically-known event chains.
+
+The attack scenarios and the population model's closed-form archetypes
+produce long, *statically known* event chains: a timer fires, runs a
+fixed payload, queues a fixed number of microtasks, and re-arms the next
+timer — no data-dependent branching anywhere.  Interpreted, every link
+pays the full generic machinery: a simulator queue round-trip, an event
+loop wake, lane selection, task peek/pop, ``setTimeout`` posting and
+re-arming.  None of that bookkeeping can change the outcome when the
+chain is known up front.
+
+This package *compiles* such chains: :class:`~repro.runtime.compile.spec.
+TimerChainSpec` declares the links, and :class:`~repro.runtime.compile.
+executor.CompiledTimerChain` flattens them into a batch executed array —
+one simulator dispatch runs every link back-to-back, replicating the
+interpreted path's observable bookkeeping (virtual times, execution
+frames, timer ids, task ids, sequence numbers, dispatch ordinals,
+labels) exactly, so traces are byte-identical.  Runtime guards detect
+anything data-dependent — a payload that schedules work, posts tasks, or
+an external event landing between links — and bail out to the generic
+interpreted machinery mid-chain with no observable difference.
+
+See DESIGN.md §17 for the eligibility rules and bailout conditions.
+"""
+
+from .executor import CompiledTimerChain, compile_chain
+from .spec import ChainStep, ChainSpecError, TimerChainSpec
+
+__all__ = [
+    "ChainStep",
+    "ChainSpecError",
+    "CompiledTimerChain",
+    "TimerChainSpec",
+    "compile_chain",
+]

@@ -1,0 +1,508 @@
+"""Batch executor for pre-compiled timer chains.
+
+``CompiledTimerChain`` runs a :class:`~repro.runtime.compile.spec.
+TimerChainSpec` in one of two ways:
+
+* **interpreted** — every link is a real ``setTimeout``: timer registry
+  entry, posted task, simulator wake, generic dispatch.  This is the
+  reference semantics, and the fallback whenever batch execution cannot
+  be proven safe.
+* **compiled** — the chain is armed as a single simulator event carrying
+  the owning loop's wake label.  When it dispatches, the batch loop runs
+  every link back-to-back: per link it replicates, in order, exactly the
+  operations the generic path would perform — the wake bookkeeping
+  (``events_processed``, dispatch label/ordinal, recent labels), the
+  execution frame with dispatch cost, the timer registry's ``_fire``
+  protocol (nesting, one-shot cleanup), the payload, the microtask
+  checkpoint, and the ``setTimeout`` bookkeeping for the next link
+  (API cost, timer id, registry entry, task object — consuming the same
+  global id streams) — but skips the queue round-trips: no ready-queue
+  push/pop, no lane selection, no task peek, no wake scheduling.  One
+  sequence number is burned per link for the ``_arm`` the generic path
+  would have issued, keeping the ``(time, seq)`` stream identical.
+
+Safety is enforced per link, after the frame closes:
+
+* if the payload (or its microtasks) scheduled anything — the simulator
+  sequence-number snapshot moved, or the loop's queues are non-empty —
+  the next link's already-created task is handed to the real queue and
+  the batch exits through ``EventLoop._continue_inline``, the same code
+  path an interpreted wake runs after dispatch;
+* if any pre-existing simulator event is due at or before the next
+  link's wake time, same hand-off: the generic loop interleaves it
+  exactly as the interpreted schedule would;
+* tracing, task recording and task observers divert the link through
+  the real ``EventLoop._run_task`` (checked per link), so captured
+  traces are byte-identical by construction rather than by replication;
+* under ``step()``/``run_until()``/perturbation (``_inline_wake_ok``
+  false) or any non-pristine arming state, the chain never enters batch
+  mode at all.
+"""
+
+from __future__ import annotations
+
+from heapq import heappush
+from typing import Optional, Tuple
+
+from ...errors import SimulationError
+from ..simtime import ms
+from ..simulator import ExecutionFrame
+from ..task import Microtask, Task, TaskSource
+from ..timers import (
+    NESTING_CLAMP_DEPTH,
+    NESTING_CLAMP_NS,
+    TIMER_API_COST,
+    TimerRegistry,
+    _TimerEntry,
+)
+from .spec import TimerChainSpec
+
+
+def _noop() -> None:
+    return None
+
+
+def compile_chain(spec: TimerChainSpec, registry: TimerRegistry) -> "CompiledTimerChain":
+    """Compile ``spec`` against ``registry``'s loop; call ``start()`` to arm."""
+    return CompiledTimerChain(spec, registry)
+
+
+class CompiledTimerChain:
+    """One compiled chain instance (single-shot: arm once)."""
+
+    __slots__ = (
+        "_steps",
+        "_flat",
+        "_registry",
+        "_loop",
+        "_sim",
+        "_armed_call",
+        "_head",
+        "_pending",
+        "_in_batch",
+        "mode",
+        "finished",
+        "links_batched",
+        "links_interpreted",
+        "bailouts",
+    )
+
+    def __init__(self, spec: TimerChainSpec, registry: TimerRegistry):
+        self._steps = spec.steps
+        # Per-step hot-loop view: attribute loads and the ms() conversion
+        # hoisted out of the batch loop (the nesting clamp still happens
+        # per link — it depends on the runtime nesting depth).
+        self._flat = [
+            (s.cost, s.callback, s.args, s.micros, s.micro_cost, ms(max(s.delay_ms, 0)))
+            for s in self._steps
+        ]
+        self._registry = registry
+        self._loop = registry.loop
+        self._sim = registry.loop.sim
+        self._armed_call = None
+        #: (index, timer_id, entry, task) the armed batch entry will run.
+        self._head: Optional[Tuple] = None
+        #: set by ``_link_body`` in batch mode: the next link's bookkeeping.
+        self._pending: Optional[Tuple] = None
+        self._in_batch = False
+        #: "compiled" | "interpreted" | "degraded" (armed compiled, but the
+        #: entry dispatch fell back to the generic path) | None (not armed).
+        self.mode: Optional[str] = None
+        #: True once the last link's payload ran.
+        self.finished = False
+        #: links executed by the batch loop (fast or traced flavour).
+        self.links_batched = 0
+        #: links executed by the generic interpreted machinery.
+        self.links_interpreted = 0
+        #: hand-offs from batch to interpreted dispatch.
+        self.bailouts = 0
+
+    # ------------------------------------------------------------------
+    # arming
+    # ------------------------------------------------------------------
+    def start(self) -> "CompiledTimerChain":
+        """Arm link 0, batch-executed when provably safe.
+
+        Falls back to interpreted arming when the loop is not pristine
+        (mid-task, queued work, an armed wakeup) or a schedule perturber
+        is installed — the perturber must see every schedule and post,
+        which only the generic machinery gives it.
+        """
+        if self.mode is not None:
+            raise SimulationError("chain already started")
+        sim = self._sim
+        loop = self._loop
+        registry = self._registry
+        if (
+            sim.perturber is not None
+            or loop.stopped
+            or loop._in_task
+            or loop._queue
+            or loop._tfifo
+            or loop._microtasks
+            or loop._wakeup is not None
+        ):
+            return self.start_interpreted()
+        self.mode = "compiled"
+        # setTimeout for link 0, replicated: same cost, same timer id,
+        # same task object — only the armed simulator callback differs
+        # (the batch entry instead of EventLoop._wake; same wake label,
+        # same time, same sequence number).
+        sim.consume(TIMER_API_COST)
+        step = self._steps[0]
+        nesting = registry._current_nesting + 1
+        entry = _TimerEntry(self._link_body, (0,), None, nesting)
+        timer_id = next(registry._ids)
+        registry._entries[timer_id] = entry
+        delay = registry._clamp(ms(max(step.delay_ms, 0)), nesting)
+        now = sim.now
+        task = Task(
+            registry._fire,
+            (timer_id,),
+            source=TaskSource.TIMER,
+            ready_time=now + delay,
+            cost=0,
+            label=f"timer#{timer_id}",
+            enqueue_time=now,
+        )
+        entry.task = task
+        loop._tfifo.append(task)
+        run_at = task.ready_time
+        busy = loop.busy_until
+        if run_at < busy:
+            run_at = busy
+        dispatch = sim.dispatch_time
+        if run_at < dispatch:
+            run_at = dispatch
+        call = sim.schedule(run_at, self._batch_entry, label=loop._wake_label)
+        loop._wakeup = call
+        self._armed_call = call
+        self._head = (0, timer_id, entry, task)
+        return self
+
+    def start_interpreted(self) -> "CompiledTimerChain":
+        """Arm link 0 through the real timer machinery (reference path)."""
+        if self.mode is not None and self.mode != "compiled":
+            raise SimulationError("chain already started")
+        self.mode = "interpreted"
+        self._registry.set_timeout(self._link_body, self._steps[0].delay_ms, 0)
+        return self
+
+    # ------------------------------------------------------------------
+    # batch execution
+    # ------------------------------------------------------------------
+    def _batch_entry(self) -> None:
+        """The armed simulator callback: dispatches like the loop's wake.
+
+        The generic dispatch that invoked us already performed the wake
+        bookkeeping (time, label, ordinal, events count) because the call
+        was scheduled under the loop's wake label.  Any deviation from
+        the state we armed — a task posted ahead of ours, a cancelled
+        timer, single-step mode — delegates to the real ``_wake``, which
+        is exactly what this call stood in for.
+        """
+        sim = self._sim
+        loop = self._loop
+        call = self._armed_call
+        head = self._head
+        self._armed_call = None
+        self._head = None
+        fifo = loop._tfifo
+        if (
+            head is None
+            or not sim._inline_wake_ok
+            or loop.stopped
+            or loop._wakeup is not call
+            or loop._queue
+            or not fifo
+            or fifo[0] is not head[3]
+            or head[3].cancelled
+        ):
+            self.mode = "degraded"
+            loop._wake()
+            return
+        index, timer_id, entry, task = head
+        run_at = task.ready_time
+        busy = loop.busy_until
+        if run_at < busy:
+            run_at = busy
+        if run_at > sim._time:
+            self.mode = "degraded"
+            loop._wake()
+            return
+        loop._wakeup = None
+        fifo.popleft()
+        self._run_batch(index, timer_id, entry, task)
+
+    def _run_batch(self, index: int, timer_id: int, entry, task: Task) -> None:
+        sim = self._sim
+        loop = self._loop
+        registry = self._registry
+        frames = sim._frames
+        microdeque = loop._microtasks
+        dispatch_cost = loop.task_dispatch_cost
+        wake_label = loop._wake_label
+        recent_append = sim._recent_labels.append
+        entries = registry._entries
+        sfifo = sim._fifo
+        wheel = sim._wheel
+        peek_time = sim._peek_time
+        flat = self._flat
+        last = len(flat) - 1
+        fire = registry._fire
+        ids = registry._ids
+        min_delay = registry.min_delay_ns
+        name = loop.name
+        timer_source = TaskSource.TIMER
+        link_body = self._link_body
+        nesting = entry.nesting
+        while True:
+            seq_snapshot = sim._seq
+            tracer = sim.tracer
+            if tracer.enabled or loop.record_trace or loop.task_observers:
+                # traced flavour: the real per-task machinery emits the
+                # trace records, so byte-identity is by construction.
+                # Fast links defer the registry-dict store, so (re)register
+                # the entry before the real _fire looks it up.
+                self._pending = None
+                entries[timer_id] = entry
+                self._in_batch = True
+                try:
+                    loop._run_task(task)
+                finally:
+                    self._in_batch = False
+                self.links_batched += 1
+                pending = self._pending
+                self._pending = None
+                if pending is None:
+                    # chain complete (or its timer was cleared): rejoin
+                    # the generic schedule exactly as a wake would
+                    loop._continue_inline()
+                    return
+                index, timer_id, entry, task = pending
+                nesting = entry.nesting
+            else:
+                # fast flavour: EventLoop._run_task + TimerRegistry._fire
+                # + the link body, fused.  Cost accounting runs on a local
+                # accumulator `fe`, flushed to the frame around any
+                # callback that could observe the clock; the microtask
+                # allocation is elided when the payload queued nothing
+                # (the _noop reactions are unobservable, only their cost
+                # is); the registry-dict store is deferred to hand-off or
+                # a traced link (the contract bars payloads from reaching
+                # chain timer ids, so the dict state is unobservable
+                # mid-batch).  Ordering matches the interpreted body:
+                # payload cost, callback, virtual setTimeout (its API
+                # cost and `now` stamp precede the checkpoint), then the
+                # microtask checkpoint.
+                cost, callback, args, n_micros, micro_cost, _ = flat[index]
+                start = sim._time
+                busy = loop.busy_until
+                if busy > start:
+                    start = busy
+                frame = ExecutionFrame(start, name)
+                frames.append(frame)
+                loop._in_task = True
+                self._in_batch = True
+                fe = dispatch_cost
+                next_task = None
+                try:
+                    if entries:
+                        # a prior traced link (or start()) registered us
+                        entries.pop(timer_id, None)
+                    if not entry.cancelled:
+                        fe += cost
+                        if callback is not None:
+                            frame.elapsed = fe
+                            prev_nesting = registry._current_nesting
+                            registry._current_nesting = nesting
+                            try:
+                                callback(*args)
+                            finally:
+                                registry._current_nesting = prev_nesting
+                            fe = frame.elapsed
+                        shortcut = not microdeque and not loop.stopped
+                        if n_micros and not shortcut:
+                            # payload queued reactions (or stopped the
+                            # loop): post real step microtasks so the
+                            # checkpoint drains everything in FIFO order
+                            post_micro = loop.post_microtask
+                            for _ in range(n_micros):
+                                post_micro(Microtask(_noop, (), micro_cost))
+                        if index != last:
+                            # virtual setTimeout for the next link
+                            fe += TIMER_API_COST
+                            now = start + fe
+                            index += 1
+                            nesting += 1
+                            entry = _TimerEntry(link_body, (index,), None, nesting)
+                            timer_id = next(ids)
+                            delay = flat[index][5]
+                            if delay < min_delay:
+                                delay = min_delay
+                            if nesting > NESTING_CLAMP_DEPTH and delay < NESTING_CLAMP_NS:
+                                delay = NESTING_CLAMP_NS
+                            task = Task(
+                                fire,
+                                (timer_id,),
+                                timer_source,
+                                now + delay,
+                                0,
+                                f"timer#{timer_id}",
+                                now,
+                            )
+                            entry.task = task
+                            next_task = task
+                        else:
+                            self.finished = True
+                        # microtask checkpoint
+                        if shortcut:
+                            fe += n_micros * micro_cost
+                        elif microdeque:
+                            frame.elapsed = fe
+                            self._drain_micros(frame)
+                            fe = frame.elapsed
+                finally:
+                    self._in_batch = False
+                    loop._in_task = False
+                    frames.pop()
+                end = start + fe
+                if end > loop.busy_until:
+                    loop.busy_until = end
+                loop.tasks_run += 1
+                self.links_batched += 1
+                if next_task is None:
+                    # chain complete (or its timer was cleared): rejoin
+                    # the generic schedule exactly as a wake would
+                    loop._continue_inline()
+                    return
+            if loop.stopped:
+                # the real loop.post would have dropped the task silently
+                return
+            t_next = task.ready_time
+            busy = loop.busy_until
+            if t_next < busy:
+                t_next = busy
+            # bailout guards — hand the next link to the real queue when:
+            # the payload or its microtasks scheduled anything (sequence
+            # number moved), posted tasks (loop lanes non-empty), or a
+            # pre-existing simulator event is due at or before the next
+            # wake (it must interleave, and with a lower sequence number
+            # it wins an equal-time tie)
+            if sim._seq != seq_snapshot or loop._tfifo or loop._queue:
+                self._hand_off(task, timer_id, entry)
+                return
+            if sfifo or wheel._ready or wheel._stored:
+                nt = peek_time()
+                if nt is not None and nt <= t_next:
+                    self._hand_off(task, timer_id, entry)
+                    return
+            # continue the batch: burn the sequence number the generic
+            # _arm would have, then perform the wake's dispatch
+            # bookkeeping for the next link
+            sim._seq = seq_snapshot + 1
+            sim._time = t_next
+            n = sim.events_processed + 1
+            sim.events_processed = n
+            sim._dispatch_label = wake_label
+            sim._dispatch_ordinal = n
+            recent_append(wake_label)
+
+    def _hand_off(self, task: Task, timer_id: int, entry) -> None:
+        """Queue the next link's task for generic dispatch (bailout)."""
+        self.bailouts += 1
+        # fast links defer the registry store; the generic _fire that will
+        # now run this link looks the entry up by id
+        self._registry._entries[timer_id] = entry
+        loop = self._loop
+        fifo = loop._tfifo
+        ready = task.ready_time
+        # post_task's lane selection; enqueue stamping, perturbation and
+        # past-clamping were already handled at creation time (and a
+        # perturber forces interpreted mode before a batch ever runs)
+        if not fifo:
+            fifo.append(task)
+        else:
+            tail = fifo[-1]
+            if ready > tail.ready_time or (
+                ready == tail.ready_time and task.id > tail.id
+            ):
+                fifo.append(task)
+            else:
+                heappush(loop._queue, (ready, task.id, task))
+        loop._continue_inline()
+
+    def _drain_micros(self, frame: ExecutionFrame) -> None:
+        """``EventLoop._drain_microtasks`` minus the tracer branch."""
+        loop = self._loop
+        budget = 100_000
+        micros = loop._microtasks
+        popleft = micros.popleft
+        consume = frame.consume
+        while micros:
+            micro = popleft()
+            consume(micro.cost)
+            micro.callback(*micro.args)
+            budget -= 1
+            if budget <= 0:
+                raise SimulationError(
+                    f"microtask checkpoint on {loop.name!r} exceeded 100000 "
+                    "microtasks (runaway promise chain?)"
+                )
+
+    # ------------------------------------------------------------------
+    # the per-link body (both modes)
+    # ------------------------------------------------------------------
+    def _link_body(self, index: int) -> None:
+        """Run link ``index``'s payload and arm (or stage) the next link.
+
+        In batch mode the next link's ``setTimeout`` bookkeeping is
+        performed eagerly — same cost, ids, entry and task — but the
+        task is *staged* in ``_pending`` instead of queued; the batch
+        loop queues it only on bailout.  Outside batch mode this is the
+        interpreted runner: a real ``setTimeout`` per link.
+        """
+        steps = self._steps
+        step = steps[index]
+        sim = self._sim
+        if not self._in_batch:
+            self.links_interpreted += 1
+        if step.cost:
+            sim.consume(step.cost)
+        callback = step.callback
+        if callback is not None:
+            callback(*step.args)
+        n_micros = step.micros
+        if n_micros:
+            loop = self._loop
+            micro_cost = step.micro_cost
+            post_micro = loop.post_microtask
+            for _ in range(n_micros):
+                post_micro(Microtask(_noop, (), micro_cost))
+        nxt = index + 1
+        if nxt == len(steps):
+            self.finished = True
+            return
+        registry = self._registry
+        if not self._in_batch:
+            registry.set_timeout(self._link_body, steps[nxt].delay_ms, nxt)
+            return
+        # virtual setTimeout (see class docstring)
+        sim.consume(TIMER_API_COST)
+        nesting = registry._current_nesting + 1
+        entry = _TimerEntry(self._link_body, (nxt,), None, nesting)
+        timer_id = next(registry._ids)
+        registry._entries[timer_id] = entry
+        delay = registry._clamp(ms(max(steps[nxt].delay_ms, 0)), nesting)
+        now = sim.now
+        task = Task(
+            registry._fire,
+            (timer_id,),
+            source=TaskSource.TIMER,
+            ready_time=now + delay,
+            cost=0,
+            label=f"timer#{timer_id}",
+            enqueue_time=now,
+        )
+        entry.task = task
+        self._pending = (nxt, timer_id, entry, task)

@@ -1,0 +1,134 @@
+"""Static descriptions of timer/microtask chains.
+
+A :class:`TimerChainSpec` is the compiler's input: the full list of links
+a scenario will execute, declared up front.  Each :class:`ChainStep` is
+one ``setTimeout`` link — the delay that arms it, a payload callback, a
+fixed pre-charged cost, and a fixed number of trailing microtasks (the
+promise reactions the payload queues).
+
+Eligibility is a *contract*, not a static analysis — Python callbacks
+cannot be inspected for purity.  A spec declares that its payloads:
+
+* do not schedule work (no ``setTimeout``/``post``/``sim.schedule``) —
+  payloads that do are detected at runtime by the batch executor's
+  sequence-number guard and demoted to interpreted dispatch;
+* do not introspect scheduler state (``pending_events``,
+  ``pending_tasks``, ``active_count``) — the batch executor defers queue
+  bookkeeping that a generic run would perform eagerly, so such reads
+  would observe intermediate state;
+* may consume cost, read clocks, and mutate plain Python state freely.
+
+Everything else (delays, counts, costs) is validated eagerly here so a
+malformed spec fails at compile time, not mid-batch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple
+
+
+class ChainSpecError(ValueError):
+    """A chain spec failed static validation."""
+
+
+class ChainStep:
+    """One ``setTimeout`` link of a pre-compiled chain.
+
+    Attributes:
+        delay_ms: the delay passed to the ``setTimeout`` that arms this
+            link (clamping — minimum delay, >5-deep nesting — is applied
+            at execution time, exactly as the timer registry would).
+        callback/args: the payload run in the link's task frame; may be
+            ``None`` for a pure-cost link.
+        cost: synchronous cost consumed before the payload runs.
+        micros: number of microtasks queued after the payload, drained at
+            the link's microtask checkpoint.
+        micro_cost: cost consumed by each of those microtasks.
+    """
+
+    __slots__ = ("delay_ms", "callback", "args", "cost", "micros", "micro_cost")
+
+    def __init__(
+        self,
+        delay_ms: float = 0,
+        callback: Optional[Callable[..., None]] = None,
+        args: Tuple = (),
+        cost: int = 0,
+        micros: int = 0,
+        micro_cost: int = 0,
+    ):
+        self.delay_ms = delay_ms
+        self.callback = callback
+        self.args = tuple(args)
+        self.cost = cost
+        self.micros = micros
+        self.micro_cost = micro_cost
+
+    def validate(self, index: int) -> None:
+        """Raise :class:`ChainSpecError` if this step is malformed."""
+        if not isinstance(self.delay_ms, (int, float)) or isinstance(self.delay_ms, bool):
+            raise ChainSpecError(f"step {index}: delay_ms must be a number")
+        if self.delay_ms != self.delay_ms or self.delay_ms in (float("inf"), float("-inf")):
+            raise ChainSpecError(f"step {index}: delay_ms must be finite")
+        if self.callback is not None and not callable(self.callback):
+            raise ChainSpecError(f"step {index}: callback must be callable or None")
+        for name in ("cost", "micros", "micro_cost"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise ChainSpecError(
+                    f"step {index}: {name} must be a non-negative integer"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ChainStep delay={self.delay_ms}ms cost={self.cost}"
+            f" micros={self.micros}>"
+        )
+
+
+class TimerChainSpec:
+    """An ordered, statically-known sequence of timer links."""
+
+    __slots__ = ("steps",)
+
+    def __init__(self, steps: Iterable[ChainStep]):
+        self.steps: Tuple[ChainStep, ...] = tuple(steps)
+        if not self.steps:
+            raise ChainSpecError("a chain needs at least one step")
+        for index, step in enumerate(self.steps):
+            if not isinstance(step, ChainStep):
+                raise ChainSpecError(f"step {index}: expected ChainStep")
+            step.validate(index)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @classmethod
+    def uniform(
+        cls,
+        links: int,
+        delay_ms: float = 1,
+        callback: Optional[Callable[..., None]] = None,
+        args: Tuple = (),
+        cost: int = 0,
+        micros: int = 0,
+        micro_cost: int = 0,
+    ) -> "TimerChainSpec":
+        """A chain of ``links`` identical steps — the closed-form archetype
+        shape (heartbeat timers, polling loops, ``setTimeout(0)`` clocks)."""
+        if links <= 0:
+            raise ChainSpecError("links must be positive")
+        return cls(
+            ChainStep(delay_ms, callback, args, cost, micros, micro_cost)
+            for _ in range(links)
+        )
+
+    @classmethod
+    def from_delays(
+        cls,
+        delays_ms: Sequence[float],
+        callback: Optional[Callable[..., None]] = None,
+        cost: int = 0,
+    ) -> "TimerChainSpec":
+        """A chain with per-link delays and one shared payload."""
+        return cls(ChainStep(d, callback, (), cost) for d in delays_ms)

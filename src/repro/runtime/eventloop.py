@@ -288,23 +288,36 @@ class EventLoop:
             return
         self._pop_task(task)
         self._run_task(task)
-        # Inline continuation: when the *next* task would be woken at
-        # exactly the current dispatch time and no other simulator event
-        # is queued at (or before) that time, nothing can interleave — the
-        # wake the seed would schedule is provably the very next dispatch.
-        # Run the task here instead, replicating the wake's bookkeeping
-        # (events_processed, dispatch label/ordinal, recent labels) so
-        # every downstream observable — trace ordinals included — matches
-        # the schedule-a-wake path bit for bit.  Timer storms, where
-        # hundreds of timers share one millisecond slot, collapse from one
-        # full queue round-trip per task to one per slot.
+        self._continue_inline()
+
+    def _continue_inline(self) -> None:
+        """Post-dispatch continuation: inline same-time follow-ups, else arm.
+
+        Inline continuation: when the *next* task would be woken at
+        exactly the current dispatch time and no other simulator event
+        is queued at (or before) that time, nothing can interleave — the
+        wake the seed would schedule is provably the very next dispatch.
+        Run the task here instead, replicating the wake's bookkeeping
+        (events_processed, dispatch label/ordinal, recent labels) so
+        every downstream observable — trace ordinals included — matches
+        the schedule-a-wake path bit for bit.  Timer storms, where
+        hundreds of timers share one millisecond slot, collapse from one
+        full queue round-trip per task to one per slot.
+
+        Also called by the compiled-chain batch executor
+        (:mod:`repro.runtime.compile`) at every batch exit, so a bailed
+        batch rejoins the generic schedule through exactly the code an
+        interpreted wake would have run.
+        """
+        sim = self.sim
         budget = _INLINE_BATCH_LIMIT
         run = self._run_task
         wake_label = self._wake_label
         recent_append = sim._recent_labels.append
         heap = self._queue
         fifo = self._tfifo
-        sheap = sim._heap
+        swheel = sim._wheel
+        swready = swheel._ready
         sfifo = sim._fifo
         heappop = _heappop
         while not self.stopped:
@@ -338,16 +351,29 @@ class EventLoop:
                 self._arm()
                 return
             # no other simulator event may exist at (or before) the current
-            # time (Simulator._peek_time, inlined; cancelled entries count,
-            # conservatively)
+            # time (Simulator._peek_time, inlined conservatively; cancelled
+            # entries count, and a wheel with an empty ready run reports
+            # its drained-region bound — every stored entry is at or past
+            # it, so a bound beyond the dispatch time proves no entry can
+            # interleave, without forcing a slot drain from here)
             if sfifo:
                 nt = sfifo[0].time
-                if sheap and sheap[0][0] < nt:
-                    nt = sheap[0][0]
+                if swready:
+                    wt = swready[swheel._pos].time
+                    if wt < nt:
+                        nt = wt
+                elif swheel._stored:
+                    wt = swheel._ready_until
+                    if wt < nt:
+                        nt = wt
                 if nt <= dispatch:
                     self._arm()
                     return
-            elif sheap and sheap[0][0] <= dispatch:
+            elif swready:
+                if swready[swheel._pos].time <= dispatch:
+                    self._arm()
+                    return
+            elif swheel._stored and swheel._ready_until <= dispatch:
                 self._arm()
                 return
             budget -= 1

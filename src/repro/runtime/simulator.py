@@ -26,7 +26,6 @@ tasks sequentially.
 
 from __future__ import annotations
 
-import heapq
 import os
 from collections import deque
 from contextlib import contextmanager
@@ -34,9 +33,7 @@ from typing import Callable, List, Optional, Tuple
 
 from ..errors import DeadlockError, SimulationError
 from ..trace import current_tracer
-
-_heappush = heapq.heappush
-_heappop = heapq.heappop
+from .wheel import G_BITS, SLOT_MASK, TimerWheel, _L1_SHIFT
 
 #: Sentinel upper bound for ``run(until=None)``: one comparison against
 #: +inf per dispatch is cheaper than re-testing ``until is not None``.
@@ -184,11 +181,18 @@ class Simulator:
         # Dual-lane ready queue.  Discrete-event workloads schedule mostly
         # in non-decreasing time order, so an in-order append goes to the
         # FIFO lane (deque of ScheduledCall, O(1) push/pop) and only
-        # out-of-order schedules pay the heap's O(log n).  Dispatch takes
-        # the (time, seq) minimum across both lanes, so the total order is
-        # exactly the single-heap order.
-        self._heap: List[Tuple[int, int, ScheduledCall]] = []
+        # out-of-order schedules pay the timed lane — a hierarchical
+        # timer wheel (see repro.runtime.wheel) whose push is O(1) and
+        # whose per-slot sort replaces the old heap's O(log n) Python
+        # tuple comparisons.  Dispatch takes the (time, seq) minimum
+        # across both lanes, so the total order is exactly the
+        # single-heap order the seed used.
+        self._wheel = TimerWheel()
         self._fifo: deque = deque()
+        # Seed-era heap lane: unused by this class, but kept so the
+        # frozen ReferenceSimulator subclass (harness.bench_reference)
+        # can keep exercising the original single-heap hot path.
+        self._heap: List[Tuple[int, int, ScheduledCall]] = []
         self._seq = 0
         #: Scheduled, non-cancelled events — maintained on schedule/
         #: cancel/dispatch so ``pending_events`` is O(1).
@@ -320,7 +324,22 @@ class Simulator:
         if not fifo or at >= fifo[-1].time:
             fifo.append(call)
         else:
-            _heappush(self._heap, (at, seq, call))
+            wheel = self._wheel
+            # TimerWheel.push's level-0 fast path, inlined: a rearming
+            # timer storm pays this per schedule, and the extra call
+            # frame showed up in profiles (keep in sync with wheel.py)
+            if at >= wheel._ready_until and not ((at ^ wheel._base) >> _L1_SHIFT):
+                index = (at >> G_BITS) & SLOT_MASK
+                slots0 = wheel._slots0
+                slot = slots0[index]
+                if slot is None:
+                    slots0[index] = [call]
+                    wheel._occupied[0] |= 1 << index
+                else:
+                    slot.append(call)
+                wheel._stored += 1
+            else:
+                wheel.push(call)
         self._live += 1
         return call
 
@@ -334,22 +353,20 @@ class Simulator:
     def _pop_next(self) -> Optional[ScheduledCall]:
         """Pop the earliest live call across both lanes (``None`` if drained)."""
         fifo = self._fifo
-        heap = self._heap
+        wheel = self._wheel
         while True:
+            head = wheel.peek()
             if fifo:
                 call = fifo[0]
-                if heap:
-                    head = heap[0]
-                    ht = head[0]
-                    ct = call.time
-                    if ht < ct or (ht == ct and head[1] < call.seq):
-                        call = _heappop(heap)[2]
-                    else:
-                        fifo.popleft()
+                if head is not None and (
+                    head.time < call.time
+                    or (head.time == call.time and head.seq < call.seq)
+                ):
+                    call = wheel.pop()
                 else:
                     fifo.popleft()
-            elif heap:
-                call = _heappop(heap)[2]
+            elif head is not None:
+                call = wheel.pop()
             else:
                 return None
             if not call.cancelled:
@@ -363,14 +380,14 @@ class Simulator:
         path, which is always correct, just slower.
         """
         fifo = self._fifo
-        heap = self._heap
+        head = self._wheel.peek()
         if fifo:
             t = fifo[0].time
-            if heap and heap[0][0] < t:
-                return heap[0][0]
+            if head is not None and head.time < t:
+                return head.time
             return t
-        if heap:
-            return heap[0][0]
+        if head is not None:
+            return head.time
         return None
 
     def _dispatch(self, call: ScheduledCall) -> None:
@@ -424,10 +441,13 @@ class Simulator:
         # once, the lane selection is inlined (no step() call per event),
         # and with the tracer disabled a dispatch allocates nothing — the
         # popped call and its queue entry were allocated at schedule time.
-        heap = self._heap
+        wheel = self._wheel
+        # the ready-run list is mutated in place, never rebound, so one
+        # binding outside the loop stays valid across primes
+        wready = wheel._ready
+        wheel_peek = wheel.peek
         fifo = self._fifo
         fifo_popleft = fifo.popleft
-        heappop = _heappop
         recent_append = self._recent_labels.append
         perturber = self.perturber
         # The backstop counts events_processed deltas rather than loop
@@ -442,19 +462,25 @@ class Simulator:
             while True:
                 # peek the earliest queued entry (cancelled ones included,
                 # as the bounded stop condition predates cancellation
-                # pruning)
+                # pruning); the wheel head is its ready-run front,
+                # priming (slot drain/cascade) only when the run is empty
+                if wready:
+                    whead = wready[wheel._pos]
+                elif wheel._stored:
+                    whead = wheel_peek()
+                else:
+                    whead = None
                 if fifo:
                     call = fifo[0]
                     head_time = call.time
                     use_fifo = True
-                    if heap:
-                        head = heap[0]
-                        ht = head[0]
-                        if ht < head_time or (ht == head_time and head[1] < call.seq):
-                            head_time = ht
+                    if whead is not None:
+                        wt = whead.time
+                        if wt < head_time or (wt == head_time and whead.seq < call.seq):
+                            head_time = wt
                             use_fifo = False
-                elif heap:
-                    head_time = heap[0][0]
+                elif whead is not None:
+                    head_time = whead.time
                     use_fifo = False
                 else:
                     break
@@ -464,7 +490,13 @@ class Simulator:
                 if use_fifo:
                     fifo_popleft()
                 else:
-                    call = heappop(heap)[2]
+                    call = whead
+                    pos = wheel._pos + 1
+                    if pos == len(wready):
+                        wready.clear()
+                        wheel._pos = 0
+                    else:
+                        wheel._pos = pos
                 if call.cancelled:
                     # seed-faithful step semantics: once the head passed
                     # the bound check, the next *live* event dispatches

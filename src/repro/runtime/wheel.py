@@ -1,0 +1,260 @@
+"""Hierarchical timer wheel: the simulator's out-of-order ready lane.
+
+The dual-lane ready queue (PR 5) sends in-order schedules to a FIFO
+deque and everything else to a binary heap.  Timer storms — thousands of
+``setTimeout`` wakeups spread over tens of milliseconds, and the
+sharedmem wait/notify wakeups that land between them — are exactly the
+out-of-order workload, and each of those events paid the heap's
+O(log n) Python-level tuple comparisons twice (push + pop).
+
+:class:`TimerWheel` replaces the heap with a classic hierarchical timer
+wheel specialised for a discrete-event simulator:
+
+* **Level 0** has ``2**SLOT_BITS`` slots of ``2**G_BITS`` ns each
+  (256 slots x ~1.05 ms ≈ 269 ms of horizon) — a slot is a plain
+  append-only list, so a push is O(1);
+* **Levels 1..2** coarsen by ``2**SLOT_BITS`` per level (~269 ms and
+  ~69 s of slot granularity), covering ~4.9 h in total;
+* **overflow** holds anything beyond the top level's horizon; it is
+  re-seated into the wheels when virtual time gets there (the far-future
+  cascade path).
+
+Slot membership uses the *absolute* time bits, so an entry lands at the
+first level whose window (the higher-order bits above that level's slot
+index) matches the wheel's current ``base`` time.  That rule keeps every
+level's occupancy bitmap wrap-free: finding the next occupied slot is a
+single ``(bits >> idx) & -x`` scan at C speed.
+
+Dispatch order must stay *exactly* the heap's ``(time, seq)`` order —
+the byte-identical-trace contract.  A drained slot is therefore sorted
+(one C-speed ``sort`` per slot instead of k Python-level heap pops) into
+a **ready run**: an indexed list the simulator pops from the front.  Two
+invariants make the order exact despite lazy draining:
+
+* all stored entries are at times ``>= base``, and the ready run holds
+  every entry earlier than ``ready_until`` (the drained slot's end), so
+  the run's head is the global wheel minimum;
+* a late push below ``ready_until`` (a callback scheduling into the slot
+  currently being dispatched, or an out-of-order schedule issued while
+  the wheel's base has advanced ahead of the FIFO lane) is merged into
+  the ready run by bisection, never into a slot behind the cursor.
+
+Cancellation mirrors the heap exactly: cancelled entries stay queued and
+are skipped at pop time, so ``peek()`` remains the same conservative
+bound the event loops' inline-wake check relies on.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from operator import attrgetter
+from typing import List, Optional
+
+#: log2 of the level-0 slot granularity in ns (2**20 ns ~ 1.05 ms —
+#: matches the browser's 1 ms minimum timer delay).
+G_BITS = 20
+
+#: log2 of the slot count per level.
+SLOT_BITS = 8
+SLOTS = 1 << SLOT_BITS
+SLOT_MASK = SLOTS - 1
+
+#: Cascade levels; level i slots span 2**(G_BITS + i*SLOT_BITS) ns.
+LEVELS = 3
+
+#: Entries at ``base + 2**OVERFLOW_BITS`` or later go to the overflow
+#: list (~4.9 h of virtual time ahead).
+OVERFLOW_BITS = G_BITS + LEVELS * SLOT_BITS
+
+_time_seq = attrgetter("time", "seq")
+
+#: Bits above a level-0 slot index: the level-0 window-match shift.
+_L1_SHIFT = G_BITS + SLOT_BITS
+
+
+class TimerWheel:
+    """Timed ready lane with O(1) amortised push/pop and exact
+    ``(time, seq)`` dispatch order.
+
+    Entries are :class:`~repro.runtime.simulator.ScheduledCall`-shaped:
+    anything with ``time``, ``seq`` and ``cancelled`` attributes.
+    """
+
+    __slots__ = ("_slots", "_slots0", "_occupied", "_overflow", "_ready", "_pos",
+                 "_base", "_ready_until", "_stored")
+
+    def __init__(self) -> None:
+        # _slots[level][index] is None or a list of entries
+        self._slots: List[List[Optional[list]]] = [
+            [None] * SLOTS for _ in range(LEVELS)
+        ]
+        #: alias of ``_slots[0]`` (same list object, never rebound) so the
+        #: simulator's inlined push fast path skips one index lookup
+        self._slots0 = self._slots[0]
+        #: per-level occupancy bitmap (bit i set <=> slot i non-empty)
+        self._occupied: List[int] = [0] * LEVELS
+        self._overflow: list = []
+        #: the ready run: entries sorted by (time, seq), popped via _pos
+        self._ready: list = []
+        self._pos = 0
+        #: all slot/overflow entries are at times >= _base
+        self._base = 0
+        #: exclusive end of the drained region; pushes below it merge
+        #: into the ready run
+        self._ready_until = 0
+        #: entries held in slots + overflow (ready run excluded,
+        #: cancelled included — parity with the heap lane)
+        self._stored = 0
+
+    def __len__(self) -> int:
+        """Queued entries, cancelled included (heap-lane parity)."""
+        return self._stored + len(self._ready) - self._pos
+
+    # ------------------------------------------------------------------
+    # push
+    # ------------------------------------------------------------------
+    def push(self, call) -> None:
+        """Insert ``call`` (absolute ``call.time`` may be any time at or
+        after the simulator's dispatch clock)."""
+        at = call.time
+        if at < self._ready_until:
+            # late entry behind the drain cursor: merge into the ready
+            # run so the front stays the global minimum.  Rare (only
+            # same-slot re-entrancy), so the O(run) insort is fine.
+            if self._pos:
+                del self._ready[: self._pos]
+                self._pos = 0
+            insort(self._ready, call, key=_time_seq)
+            return
+        # level-0 fast path: most storm pushes land within ~269 ms of the
+        # base, one xor tells us the level-0 window matches.  (Simulator
+        # .schedule inlines this branch; keep the two in sync.)
+        if not ((at ^ self._base) >> _L1_SHIFT):
+            index = (at >> G_BITS) & SLOT_MASK
+            slots0 = self._slots0
+            slot = slots0[index]
+            if slot is None:
+                slots0[index] = [call]
+                self._occupied[0] |= 1 << index
+            else:
+                slot.append(call)
+            self._stored += 1
+            return
+        self._place(call)
+
+    def _place(self, call) -> None:
+        """File ``call`` into the level whose window contains it."""
+        at = call.time
+        base = self._base
+        shift = G_BITS + SLOT_BITS
+        for level in range(LEVELS):
+            if not ((at ^ base) >> shift):
+                index = (at >> (shift - SLOT_BITS)) & SLOT_MASK
+                slot = self._slots[level][index]
+                if slot is None:
+                    self._slots[level][index] = [call]
+                    self._occupied[level] |= 1 << index
+                else:
+                    slot.append(call)
+                self._stored += 1
+                return
+            shift += SLOT_BITS
+        self._overflow.append(call)
+        self._stored += 1
+
+    # ------------------------------------------------------------------
+    # peek / pop
+    # ------------------------------------------------------------------
+    def peek(self):
+        """The earliest queued entry (cancelled included), or ``None``.
+
+        Priming may advance the wheel's base and drain a slot into the
+        ready run; the work is amortised against the pops that follow.
+        """
+        ready = self._ready
+        pos = self._pos
+        if pos < len(ready):
+            return ready[pos]
+        if self._stored == 0:
+            return None
+        self._prime()
+        return self._ready[self._pos]
+
+    def pop(self):
+        """Remove and return the earliest entry, or ``None`` if empty."""
+        head = self.peek()
+        if head is not None:
+            self._pos += 1
+            if self._pos == len(self._ready):
+                self._ready.clear()
+                self._pos = 0
+        return head
+
+    def _prime(self) -> None:
+        """Refill the ready run with the minimal occupied slot's entries.
+
+        Called only with ``_stored > 0`` and the ready run empty.  Scans
+        level 0 from the base cursor; an exhausted level-0 window pulls
+        the next occupied parent slot down (the cascade), re-filing its
+        entries against the advanced base; an empty wheel re-seats the
+        overflow list.
+        """
+        self._ready.clear()
+        self._pos = 0
+        while True:
+            occupied = self._occupied[0]
+            index = (self._base >> G_BITS) & SLOT_MASK
+            bits = occupied >> index
+            if bits:
+                index += ((bits & -bits).bit_length()) - 1
+                slots = self._slots[0]
+                entries = slots[index]
+                slots[index] = None
+                self._occupied[0] = occupied & ~(1 << index)
+                self._stored -= len(entries)
+                # advance base to the drained slot's start; every
+                # remaining stored entry is in a later slot
+                window = self._base >> (G_BITS + SLOT_BITS)
+                self._base = (window << (G_BITS + SLOT_BITS)) | (index << G_BITS)
+                self._ready_until = self._base + (1 << G_BITS)
+                if len(entries) > 1:
+                    entries.sort(key=_time_seq)
+                self._ready.extend(entries)
+                return
+            if self._cascade():
+                continue
+            # nothing left in any level: re-seat the far future
+            overflow = self._overflow
+            self._base = min(overflow, key=_time_seq).time
+            self._overflow = []
+            self._stored -= len(overflow)
+            for call in overflow:
+                self._place(call)
+
+    def _cascade(self) -> bool:
+        """Pull the next occupied parent slot down one level.
+
+        Returns ``False`` when levels 1.. are all empty past the cursor
+        (the overflow re-seat case).
+        """
+        for level in range(1, LEVELS):
+            shift = G_BITS + level * SLOT_BITS
+            occupied = self._occupied[level]
+            index = (self._base >> shift) & SLOT_MASK
+            bits = occupied >> index
+            if not bits:
+                continue
+            index += ((bits & -bits).bit_length()) - 1
+            slots = self._slots[level]
+            entries = slots[index]
+            slots[index] = None
+            self._occupied[level] = occupied & ~(1 << index)
+            self._stored -= len(entries)
+            # enter the drained slot's window, then re-file each entry:
+            # with the base advanced, they land one or more levels down
+            window = self._base >> (shift + SLOT_BITS)
+            self._base = (window << (shift + SLOT_BITS)) | (index << shift)
+            for call in entries:
+                self._place(call)
+            return True
+        return False

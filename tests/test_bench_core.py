@@ -26,7 +26,7 @@ def tiny_report():
 
 
 def test_report_schema(tiny_report):
-    assert tiny_report["schema"] == 1
+    assert tiny_report["schema"] == 2
     benchmarks = tiny_report["benchmarks"]
     for name in WORKLOADS:
         assert name in benchmarks, name
@@ -56,6 +56,19 @@ def test_only_filter_and_unknown_name():
     assert set(report["benchmarks"]) == {"raw-dispatch", "raw-dispatch-reference"}
     with pytest.raises(ValueError, match="unknown benchmarks"):
         run_bench_core(scale=0.01, repeats=1, only=["no-such-bench"])
+
+
+def test_timed_lane_cases_run_against_the_seed_reference():
+    """The ISSUE's acceptance cases: the wheel storm and the pre-compiled
+    chain both measure against the frozen seed implementations."""
+    report = run_bench_core(scale=0.01, repeats=1, only=["wheel", "precompiled"])
+    benchmarks = report["benchmarks"]
+    assert set(benchmarks) == {
+        "wheel", "wheel-reference", "precompiled", "precompiled-reference",
+    }
+    for name in ("wheel", "precompiled"):
+        assert benchmarks[name]["events"] == benchmarks[f"{name}-reference"]["events"]
+        assert report["speedups_vs_seed_reference"][name] > 0
 
 
 def test_format_report_renders(tiny_report):
@@ -115,3 +128,43 @@ def test_check_regression_ignores_missing_benchmarks(tiny_report):
     baseline = copy.deepcopy(tiny_report)
     baseline["benchmarks"]["retired-bench"] = {"events_per_sec": 1.0}
     assert check_regression(tiny_report, baseline) == []
+
+
+# ----------------------------------------------------------------------
+# compiled build lane (tools/build_compiled.py)
+# ----------------------------------------------------------------------
+
+def test_build_compiled_lane_runs_or_skips_gracefully(tmp_path):
+    """The optional AOT lane must exit 0 everywhere: either it built and
+    benched the extension, or it recorded exactly why it skipped."""
+    import json
+    import os
+    import subprocess
+    import sys
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    out = tmp_path / "bench_compiled.json"
+    env = dict(os.environ, PYTHONPATH=os.path.join(repo, "src"))
+    result = subprocess.run(
+        [
+            sys.executable,
+            os.path.join(repo, "tools", "build_compiled.py"),
+            "--quick",
+            "--out",
+            str(out),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    report = json.loads(out.read_text())
+    assert report["schema"] == 1
+    assert report["module"] == "repro.runtime.wheel"
+    if report["status"] == "ok":
+        assert report["speedup"] > 0
+        assert report["toolchain"] in ("mypyc", "Cython")
+    else:
+        assert report["status"] == "skipped"
+        assert report["reason"]

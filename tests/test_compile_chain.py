@@ -1,0 +1,343 @@
+"""The scenario pre-compiler must be observably identical to interpretation.
+
+``CompiledTimerChain`` batch-executes statically-known setTimeout chains
+without re-entering the generic simulator loop.  Its contract (DESIGN
+§17): every observable — virtual times, sequence numbers, event counts,
+task-id consumption, timer ids, dispatch labels, busy accounting, trace
+exports — matches the interpreted run byte for byte, and anything
+data-dependent (payloads that post work, external events interleaving,
+single-step execution) falls back to the generic machinery with no
+observable difference.
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.compile import (
+    ChainSpecError,
+    ChainStep,
+    TimerChainSpec,
+    compile_chain,
+)
+from repro.runtime.eventloop import EventLoop
+from repro.runtime.simtime import ms
+from repro.runtime.simulator import Simulator
+from repro.runtime.task import Microtask, Task
+from repro.runtime.timers import TimerRegistry
+from repro.trace import Tracer, capture
+from repro.trace.export import dump_chrome_trace, format_timeline
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def build(spec_factory):
+    sim = Simulator()
+    loop = EventLoop(sim, "main")
+    registry = TimerRegistry(loop)
+    chain = compile_chain(spec_factory(sim, loop, registry), registry)
+    return sim, loop, registry, chain
+
+
+def run_chain(spec_factory, compiled):
+    sim, loop, registry, chain = build(spec_factory)
+    probe_before = Task(lambda: None).id
+    (chain.start if compiled else chain.start_interpreted)()
+    sim.run()
+    task_ids_consumed = Task(lambda: None).id - probe_before - 1
+    return {
+        "time": sim._time,
+        "seq": sim._seq,
+        "events": sim.events_processed,
+        "tasks_run": loop.tasks_run,
+        "busy_until": loop.busy_until,
+        "live": sim._live,
+        "labels": list(sim._recent_labels),
+        "entries": dict(registry._entries),
+        "next_timer_id": next(registry._ids),
+        "task_ids_consumed": task_ids_consumed,
+        "finished": chain.finished,
+    }, chain
+
+
+def assert_equivalent(spec_factory, expect_bailouts=0):
+    interpreted, _ = run_chain(spec_factory, compiled=False)
+    compiled, chain = run_chain(spec_factory, compiled=True)
+    assert compiled == interpreted
+    assert chain.mode == "compiled"
+    assert chain.bailouts == expect_bailouts
+    return chain
+
+
+# ----------------------------------------------------------------------
+# batch execution == interpretation, observable for observable
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "factory",
+    [
+        pytest.param(
+            lambda sim, loop, reg: TimerChainSpec.uniform(
+                50, delay_ms=1, cost=2_000, micros=2, micro_cost=400
+            ),
+            id="uniform-cost-micros",
+        ),
+        pytest.param(
+            lambda sim, loop, reg: TimerChainSpec.uniform(40, delay_ms=0, cost=100),
+            id="zero-delay-nesting-clamp",
+        ),
+        pytest.param(
+            lambda sim, loop, reg: TimerChainSpec.uniform(25),
+            id="bare-links",
+        ),
+        pytest.param(
+            lambda sim, loop, reg: TimerChainSpec.from_delays(
+                [0, 3, 1, 7, 0, 2] * 6, cost=500
+            ),
+            id="varied-delays",
+        ),
+        pytest.param(
+            lambda sim, loop, reg: TimerChainSpec(
+                [ChainStep(1, cost=10_000), ChainStep(0, micros=5, micro_cost=50),
+                 ChainStep(9, cost=1), ChainStep(2)]
+            ),
+            id="heterogeneous-steps",
+        ),
+    ],
+)
+def test_batch_execution_matches_interpreted(factory):
+    chain = assert_equivalent(factory)
+    assert chain.links_batched == len(chain._steps)
+    assert chain.links_interpreted == 0
+
+
+def test_payload_clock_reads_are_identical():
+    """A payload reading sim.now mid-link sees the same timestamps (the
+    batch loop flushes its cost accumulator around callbacks)."""
+    readings = {}
+
+    def factory(sim, loop, reg):
+        log = readings.setdefault(id(sim), [])
+
+        def cb():
+            log.append(sim.now)
+
+        return TimerChainSpec.uniform(
+            30, delay_ms=1, callback=cb, cost=1_500, micros=1, micro_cost=300
+        )
+
+    interpreted, _ = run_chain(factory, compiled=False)
+    compiled, _ = run_chain(factory, compiled=True)
+    assert compiled == interpreted
+    logs = list(readings.values())
+    assert logs[0] == logs[1] and len(logs[0]) == 30
+
+
+def test_payload_consuming_cost_is_identical():
+    def factory(sim, loop, reg):
+        return TimerChainSpec.uniform(
+            30, delay_ms=1, callback=lambda: sim.consume(777), cost=100,
+            micros=3, micro_cost=50,
+        )
+
+    assert_equivalent(factory)
+
+
+def test_payload_posting_microtasks_is_identical():
+    """Payload-queued promise reactions kill the allocation shortcut but
+    drain in the same FIFO order with the same costs."""
+
+    def factory(sim, loop, reg):
+        def cb():
+            loop.post_microtask(Microtask(lambda: sim.consume(99), (), 120))
+
+        return TimerChainSpec.uniform(
+            30, delay_ms=1, callback=cb, cost=500, micros=2, micro_cost=250
+        )
+
+    assert_equivalent(factory)
+
+
+# ----------------------------------------------------------------------
+# bailouts: data-dependent chains fall back to interpretation
+# ----------------------------------------------------------------------
+def test_payload_posting_tasks_bails_out_to_interpreted():
+    """A payload that posts a task mid-chain demotes the rest of the
+    chain to generic dispatch — with identical final state."""
+
+    def factory(sim, loop, reg):
+        counter = [0]
+
+        def cb():
+            counter[0] += 1
+            if counter[0] % 7 == 0:
+                loop.post(lambda: None, label="intruder")
+
+        return TimerChainSpec.uniform(
+            40, delay_ms=1, callback=cb, cost=1_000, micros=1, micro_cost=200
+        )
+
+    interpreted, _ = run_chain(factory, compiled=False)
+    compiled, chain = run_chain(factory, compiled=True)
+    assert compiled == interpreted
+    assert chain.mode == "compiled"
+    assert chain.bailouts == 1
+    assert chain.links_batched >= 1
+    assert chain.links_interpreted >= 1
+    assert chain.links_batched + chain.links_interpreted == 40
+
+
+def test_payload_arming_real_timers_bails_out():
+    """Arming a real timer moves the sequence number (and shares the
+    timer-id stream) — the guard must hand off, ids must stay in sync."""
+
+    def factory(sim, loop, reg):
+        counter = [0]
+
+        def cb():
+            counter[0] += 1
+            if counter[0] == 11:
+                reg.set_timeout(lambda: None, 5)
+
+        return TimerChainSpec.uniform(30, delay_ms=1, callback=cb, cost=300)
+
+    interpreted, _ = run_chain(factory, compiled=False)
+    compiled, chain = run_chain(factory, compiled=True)
+    assert compiled == interpreted
+    assert chain.bailouts == 1
+
+
+def test_preexisting_event_interleaves_identically():
+    """An external simulator event due mid-chain must dispatch between
+    links exactly as the interpreted schedule would."""
+
+    def factory(sim, loop, reg):
+        sim.schedule(ms(13), lambda: None, label="external")
+        return TimerChainSpec.uniform(30, delay_ms=1, cost=800, micros=1, micro_cost=100)
+
+    interpreted, _ = run_chain(factory, compiled=False)
+    compiled, chain = run_chain(factory, compiled=True)
+    assert compiled == interpreted
+    assert chain.bailouts >= 1
+
+
+# ----------------------------------------------------------------------
+# degraded arming: non-pristine state never enters batch mode
+# ----------------------------------------------------------------------
+def test_busy_loop_arms_interpreted():
+    sim = Simulator()
+    loop = EventLoop(sim, "main")
+    registry = TimerRegistry(loop)
+    loop.post(lambda: None, label="queued-ahead")
+    chain = compile_chain(TimerChainSpec.uniform(5, delay_ms=1), registry)
+    chain.start()
+    assert chain.mode == "interpreted"
+    sim.run()
+    assert chain.finished
+    assert chain.links_interpreted == 5
+
+
+def test_single_step_execution_degrades_to_generic_dispatch():
+    """Under step() the inline-wake invariant doesn't hold; the batch
+    entry must delegate to the real wake, still completing the chain."""
+    sim = Simulator()
+    loop = EventLoop(sim, "main")
+    registry = TimerRegistry(loop)
+    chain = compile_chain(
+        TimerChainSpec.uniform(6, delay_ms=1, cost=100), registry
+    )
+    chain.start()
+    assert chain.mode == "compiled"
+    while sim.step():
+        pass
+    assert chain.finished
+    assert chain.mode == "degraded"
+    assert chain.links_interpreted == 6
+    assert chain.links_batched == 0
+
+    # and the observables match a fully interpreted run
+    interpreted, _ = run_chain(
+        lambda s, l, r: TimerChainSpec.uniform(6, delay_ms=1, cost=100), False
+    )
+    stepped = {
+        "time": sim._time,
+        "busy_until": loop.busy_until,
+        "tasks_run": loop.tasks_run,
+        "events": sim.events_processed,
+    }
+    assert stepped == {k: interpreted[k] for k in stepped}
+
+
+def test_chain_cannot_start_twice():
+    sim = Simulator()
+    loop = EventLoop(sim, "main")
+    registry = TimerRegistry(loop)
+    chain = compile_chain(TimerChainSpec.uniform(3), registry)
+    chain.start()
+    with pytest.raises(SimulationError, match="already started"):
+        chain.start()
+    sim.run()
+    assert chain.finished
+
+
+# ----------------------------------------------------------------------
+# traced runs: byte-identical exports, pinned golden
+# ----------------------------------------------------------------------
+def _traced_digests(compiled):
+    tracer = Tracer()
+    with capture(tracer):
+        sim = Simulator()
+        loop = EventLoop(sim, "main")
+        registry = TimerRegistry(loop)
+        chain = compile_chain(
+            TimerChainSpec.uniform(
+                40, delay_ms=1, cost=2_000, micros=2, micro_cost=400
+            ),
+            registry,
+        )
+        (chain.start if compiled else chain.start_interpreted)()
+        sim.run()
+    chrome = hashlib.sha256(dump_chrome_trace(tracer).encode()).hexdigest()
+    timeline = hashlib.sha256(format_timeline(tracer).encode()).hexdigest()
+    return len(tracer), chrome, timeline, chain
+
+
+def test_traced_chain_matches_the_golden_digests():
+    with open(os.path.join(GOLDEN_DIR, "trace_digests.json"), encoding="utf-8") as f:
+        golden = json.load(f)["chain"]
+    for compiled in (False, True):
+        events, chrome, timeline, chain = _traced_digests(compiled)
+        assert events == golden["events"]
+        assert chrome == golden["chrome_sha256"]
+        assert timeline == golden["timeline_sha256"]
+        assert chain.finished
+    # tracing diverts links through the real task machinery, so the
+    # batch loop ran them all in traced flavour
+    assert chain.mode == "compiled"
+    assert chain.links_batched == 40
+
+
+# ----------------------------------------------------------------------
+# spec validation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "steps, fragment",
+    [
+        ([], "at least one step"),
+        ([ChainStep(float("nan"))], "finite"),
+        ([ChainStep(1, cost=-1)], "non-negative"),
+        ([ChainStep(1, micros=-2)], "non-negative"),
+        ([ChainStep(True)], "number"),
+        ([object()], "expected ChainStep"),
+    ],
+)
+def test_malformed_specs_fail_at_compile_time(steps, fragment):
+    with pytest.raises(ChainSpecError, match=fragment):
+        TimerChainSpec(steps)
+
+
+def test_uniform_requires_positive_links():
+    with pytest.raises(ChainSpecError, match="positive"):
+        TimerChainSpec.uniform(0)

@@ -1,0 +1,166 @@
+"""The hierarchical timer wheel must dispatch in exact seed-heap order.
+
+The wheel (:mod:`repro.runtime.wheel`) replaced the simulator's binary
+heap as the timed lane.  Its contract is total-order equivalence: for
+any push/pop interleaving of ``(time, seq)`` entries — same-tick floods,
+far-future cascades through the upper levels, overflow re-seating, late
+pushes below the current ready window — pops come out in exactly
+``sorted(entries, key=(time, seq))`` order, which is what the seed heap
+produced.  Hypothesis drives arbitrary streams against a ``heapq``
+mirror; targeted tests pin the structural edge cases, and a simulator-
+level test checks dispatch order (with cancellations) against the
+frozen :class:`ReferenceSimulator`.
+"""
+
+import heapq
+
+from hypothesis import given, settings, strategies as st
+
+from repro.harness.bench_reference import ReferenceSimulator
+from repro.runtime.simulator import Simulator
+from repro.runtime.wheel import G_BITS, LEVELS, SLOT_BITS, TimerWheel
+
+
+class Entry:
+    """Minimal stand-in for ScheduledCall: the attributes the wheel reads."""
+
+    __slots__ = ("time", "seq", "cancelled")
+
+    def __init__(self, time, seq):
+        self.time = time
+        self.seq = seq
+        self.cancelled = False
+
+    def __lt__(self, other):  # heapq mirror ordering
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+#: One level-0 slot spans 2**G_BITS ns; the wheel addresses
+#: G_BITS + LEVELS * SLOT_BITS bits before entries land in overflow.
+SLOT_SPAN = 1 << G_BITS
+ADDRESSABLE = 1 << (G_BITS + LEVELS * SLOT_BITS)
+
+times = st.one_of(
+    st.integers(min_value=0, max_value=4 * SLOT_SPAN),       # level 0
+    st.integers(min_value=0, max_value=ADDRESSABLE - 1),     # upper levels
+    st.integers(min_value=0, max_value=4 * ADDRESSABLE),     # overflow
+)
+
+
+def drain(wheel):
+    out = []
+    while True:
+        entry = wheel.pop()
+        if entry is None:
+            return out
+        out.append(entry)
+
+
+@given(st.lists(times, max_size=200))
+@settings(max_examples=200, deadline=None)
+def test_pop_order_is_time_seq_sorted(time_list):
+    wheel = TimerWheel()
+    entries = [Entry(t, seq) for seq, t in enumerate(time_list)]
+    for entry in entries:
+        wheel.push(entry)
+    assert drain(wheel) == sorted(entries, key=lambda e: (e.time, e.seq))
+
+
+@given(
+    st.lists(
+        st.one_of(times.map(lambda t: ("push", t)), st.just(("pop", 0))),
+        max_size=200,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_interleaved_push_pop_matches_heap(ops):
+    """Pops interleaved with pushes (including pushes into the past and
+    below the drained ready window) match a heapq mirror step for step."""
+    wheel = TimerWheel()
+    mirror = []
+    seq = 0
+    for op, t in ops:
+        if op == "push":
+            entry = Entry(t, seq)
+            seq += 1
+            wheel.push(entry)
+            heapq.heappush(mirror, entry)
+        else:
+            expected = heapq.heappop(mirror) if mirror else None
+            assert wheel.pop() is expected
+    assert drain(wheel) == [heapq.heappop(mirror) for _ in range(len(mirror))]
+
+
+@given(st.integers(min_value=0, max_value=4 * ADDRESSABLE), st.integers(2, 50))
+@settings(max_examples=100, deadline=None)
+def test_same_tick_flood_preserves_seq_order(at, count):
+    wheel = TimerWheel()
+    entries = [Entry(at, seq) for seq in range(count)]
+    for entry in reversed(entries):  # push in reverse seq order
+        wheel.push(entry)
+    assert drain(wheel) == entries
+
+
+def test_far_future_entries_cascade_down():
+    """Entries beyond level 0 reach the ready lane through cascades."""
+    wheel = TimerWheel()
+    spread = [Entry(i * (SLOT_SPAN << SLOT_BITS), i) for i in range(40)]
+    for entry in reversed(spread):
+        wheel.push(entry)
+    assert drain(wheel) == spread
+
+
+def test_overflow_entries_reseat_in_order():
+    """Entries past the addressable horizon park in overflow, then
+    re-seat into the wheel once the earlier levels drain."""
+    wheel = TimerWheel()
+    near = Entry(10, 0)
+    far = [Entry(4 * ADDRESSABLE + i * SLOT_SPAN, i + 1) for i in range(20)]
+    for entry in far:
+        wheel.push(entry)
+    wheel.push(near)
+    assert wheel.pop() is near
+    assert drain(wheel) == far
+
+
+def test_late_push_below_ready_window_dispatches_next():
+    """After draining begins, a push earlier than the primed window must
+    come out before the rest of the window (heap semantics)."""
+    wheel = TimerWheel()
+    batch = [Entry(SLOT_SPAN * 3 + i * 100, i) for i in range(10)]
+    for entry in batch:
+        wheel.push(entry)
+    first = wheel.pop()
+    assert first is batch[0]
+    late = Entry(first.time, 999)  # same tick as the drained head
+    wheel.push(late)
+    rest = drain(wheel)
+    assert rest == sorted(batch[1:] + [late], key=lambda e: (e.time, e.seq))
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=60),
+    st.sets(st.integers(min_value=0, max_value=59)),
+)
+@settings(max_examples=100, deadline=None)
+def test_simulator_dispatch_order_matches_seed_reference(delays, cancel_at):
+    """Out-of-order schedules + cancellations dispatch identically on the
+    wheel-backed Simulator and the frozen seed-heap ReferenceSimulator."""
+
+    def run(sim_cls):
+        sim = sim_cls()
+        order = []
+        calls = []
+        for i, delay in enumerate(delays):
+            # alternate in-order and out-of-order arrival
+            at = delay * 1_000_000 if i % 2 == 0 else (200 - delay) * 1_000_000
+            calls.append(
+                sim.schedule(at, lambda i=i: order.append(i), label=f"e{i}")
+            )
+        for index in cancel_at:
+            if index < len(calls):
+                calls[index].cancel()
+        sim.run()
+        return order, sim.events_processed, sim._time
+
+    assert run(Simulator) == run(ReferenceSimulator)
